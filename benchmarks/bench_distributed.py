@@ -1,0 +1,87 @@
+"""E2 — Theorem 2 / Corollary 3: distributed spanner and bundle costs.
+
+Paper claims: a spanner is computed in the synchronous distributed model in
+O(log^2 n) rounds with O(m log n) communication and O(log n)-bit messages;
+a t-bundle multiplies rounds and messages by t.
+
+Measured: rounds, total messages, and the largest message (in words) from
+the simulator, across graph sizes and bundle sizes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import er_graph, print_table
+from repro.analysis.reporting import ExperimentTable
+from repro.core.config import SparsifierConfig
+from repro.core.distributed_sparsify import distributed_parallel_sample
+from repro.spanners.distributed_spanner import distributed_baswana_sen_spanner
+
+
+def _distributed_spanner_sweep():
+    table = ExperimentTable(
+        "E2a-distributed-spanner",
+        ["n", "m", "rounds", "rounds_per_log2n_sq", "messages", "messages_per_mlogn", "max_msg_words"],
+    )
+    rows = []
+    for n in (64, 128, 256):
+        g = er_graph(n, 24.0 / n, seed=n)
+        result = distributed_baswana_sen_spanner(g, seed=n + 1)
+        log_n = np.log2(n)
+        table.add_row(
+            n=n,
+            m=g.num_edges,
+            rounds=result.cost.rounds,
+            rounds_per_log2n_sq=round(result.cost.rounds / log_n ** 2, 2),
+            messages=result.cost.messages,
+            messages_per_mlogn=round(result.cost.messages / (g.num_edges * log_n), 2),
+            max_msg_words=result.cost.max_message_words,
+        )
+        rows.append((n, g, result))
+    return table, rows
+
+
+def _distributed_bundle_sweep(graph):
+    table = ExperimentTable("E2b-distributed-sample", ["t", "rounds", "messages", "max_msg_words"])
+    rows = []
+    for t in (1, 2, 4):
+        config = SparsifierConfig.practical(bundle_t=t)
+        result = distributed_parallel_sample(graph, epsilon=0.5, config=config, seed=t)
+        table.add_row(
+            t=t,
+            rounds=result.cost.rounds,
+            messages=result.cost.messages,
+            max_msg_words=result.cost.max_message_words,
+        )
+        rows.append((t, result))
+    return table, rows
+
+
+def test_e2_distributed_spanner_costs(benchmark):
+    table, rows = benchmark.pedantic(_distributed_spanner_sweep, rounds=1, iterations=1)
+    print_table(
+        table,
+        "Claims: rounds = O(log^2 n); messages = O(m log n); message size O(log n) words.",
+    )
+    for n, g, result in rows:
+        log_n = np.log2(n)
+        assert result.cost.rounds <= 3.0 * log_n ** 2
+        assert result.cost.messages <= 6.0 * g.num_edges * log_n
+        assert result.cost.max_message_words <= 4 * int(np.ceil(log_n)) + 16
+    # Rounds grow (poly)logarithmically, not linearly with n.
+    rounds = [result.cost.rounds for _, _, result in rows]
+    assert rounds[-1] / rounds[0] < (256 / 64) / 1.2
+
+
+def test_e2_distributed_bundle_costs(benchmark, er_200):
+    table, rows = benchmark.pedantic(
+        _distributed_bundle_sweep, args=(er_200,), rounds=1, iterations=1
+    )
+    print_table(table, "Claim: rounds and communication scale ~linearly with the bundle size t.")
+    costs = {t: result.cost for t, result in rows}
+    assert costs[2].rounds > costs[1].rounds
+    assert costs[4].rounds > costs[2].rounds
+    assert costs[4].messages > costs[1].messages
+    # Message size stays in the O(log n) budget regardless of t.
+    for _, result in rows:
+        assert result.cost.max_message_words <= 4 * int(np.ceil(np.log2(er_200.num_vertices))) + 16

@@ -1,0 +1,69 @@
+"""E10 — Remark 2 ablation: low-stretch-tree bundles vs spanner bundles.
+
+Paper claim: low-stretch trees can replace the spanners in the bundle,
+reducing the sparsifier size by an O(log n) factor (each component has
+n - 1 edges instead of O(n log n)); the output is then naturally a sum of
+trees plus sampled edges.  The trade-off is a weaker per-edge certificate.
+
+Measured: bundle sizes, sparsifier sizes and measured quality for the two
+bundle types at equal t, on a grid and a dense ER graph.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import er_graph, print_table
+from repro.analysis.reporting import ExperimentTable
+from repro.core.certificates import certify_approximation
+from repro.core.config import SparsifierConfig
+from repro.core.sample import parallel_sample
+from repro.graphs import generators as gen
+from repro.graphs.connectivity import is_connected
+
+
+def _ablation_sweep():
+    graphs = {
+        "er(250,0.3)": er_graph(250, 0.3, seed=1),
+        "er(200,0.15)": er_graph(200, 0.15, seed=2),
+    }
+    table = ExperimentTable(
+        "E10-tree-vs-spanner-bundle",
+        ["graph", "bundle", "t", "bundle_edges", "output_edges", "eps_achieved", "connected"],
+    )
+    rows = []
+    for name, g in graphs.items():
+        for use_tree in (False, True):
+            config = SparsifierConfig.practical(bundle_t=3, use_tree_bundle=use_tree)
+            result = parallel_sample(g, epsilon=0.5, config=config, seed=7)
+            cert = certify_approximation(g, result.sparsifier)
+            label = "tree" if use_tree else "spanner"
+            table.add_row(
+                graph=name,
+                bundle=label,
+                t=result.t,
+                bundle_edges=len(result.bundle_edge_indices),
+                output_edges=result.output_edges,
+                eps_achieved=round(cert.epsilon_achieved, 3),
+                connected=is_connected(result.sparsifier),
+            )
+            rows.append((name, label, result, cert))
+    return table, rows
+
+
+def test_e10_low_stretch_tree_ablation(benchmark):
+    table, rows = benchmark.pedantic(_ablation_sweep, rounds=1, iterations=1)
+    print_table(
+        table,
+        "Claim (Remark 2): tree bundles are smaller (n-1 edges per component vs O(n log n)),\n"
+        "giving smaller sparsifiers; the measured quality is somewhat weaker.",
+    )
+    by_key = {(name, label): (result, cert) for name, label, result, cert in rows}
+    for name in ("er(250,0.3)", "er(200,0.15)"):
+        spanner_result, spanner_cert = by_key[(name, "spanner")]
+        tree_result, tree_cert = by_key[(name, "tree")]
+        # Size saving.
+        assert len(tree_result.bundle_edge_indices) < len(spanner_result.bundle_edge_indices)
+        assert tree_result.output_edges <= spanner_result.output_edges
+        # Both remain usable approximations.
+        assert tree_cert.upper < 4.0 and tree_cert.lower > 0.1
+        assert is_connected(tree_result.sparsifier)

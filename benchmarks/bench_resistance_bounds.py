@@ -1,0 +1,70 @@
+"""E3 — Lemma 1 / Corollary 1: bundle-certified leverage-score bounds.
+
+Paper claim: if H is a t-bundle spanner of G, every edge e outside H has
+w_e * R_e[G] <= log n / t (we track the explicit 2 log2 n / t constant).
+
+Measured: the maximum and mean leverage score of non-bundle edges versus
+the bound, for several graph families and bundle sizes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import er_graph, print_table
+from repro.analysis.reporting import ExperimentTable
+from repro.graphs import generators as gen
+from repro.resistance.exact import leverage_scores
+from repro.resistance.stretch import bundle_leverage_bound
+from repro.spanners.bundle import t_bundle_spanner
+
+
+def _leverage_bound_sweep():
+    graphs = {
+        "er(200,0.25)": er_graph(200, 0.25, seed=1),
+        "grid(14x14)": gen.grid_graph(14, 14),
+        "ba(200,4)": gen.barabasi_albert_graph(200, 4, seed=2),
+        "weighted-er": gen.erdos_renyi_graph(
+            160, 0.25, seed=3, weight_range=(0.5, 5.0), ensure_connected=True
+        ),
+    }
+    table = ExperimentTable(
+        "E3-leverage-bounds",
+        ["graph", "t", "outside_edges", "max_leverage", "mean_leverage", "lemma1_bound", "holds"],
+    )
+    rows = []
+    for name, g in graphs.items():
+        scores = leverage_scores(g)
+        for t in (1, 2, 4):
+            bundle = t_bundle_spanner(g, t=t, seed=t * 11)
+            outside = np.ones(g.num_edges, dtype=bool)
+            outside[bundle.edge_indices] = False
+            if not outside.any():
+                continue
+            bound = bundle_leverage_bound(g.num_vertices, bundle.t)
+            max_score = float(scores[outside].max())
+            table.add_row(
+                graph=name,
+                t=bundle.t,
+                outside_edges=int(outside.sum()),
+                max_leverage=round(max_score, 4),
+                mean_leverage=round(float(scores[outside].mean()), 4),
+                lemma1_bound=round(bound, 4),
+                holds=max_score <= bound + 1e-9,
+            )
+            rows.append((name, bundle.t, max_score, bound))
+    return table, rows
+
+
+def test_e3_lemma1_leverage_bounds(benchmark):
+    table, rows = benchmark.pedantic(_leverage_bound_sweep, rounds=1, iterations=1)
+    print_table(table, "Claim (Lemma 1): max leverage of non-bundle edges <= 2 log2(n) / t.")
+    assert rows, "at least one (graph, t) combination must leave edges outside the bundle"
+    for name, t, max_score, bound in rows:
+        assert max_score <= bound + 1e-9, f"Lemma 1 violated on {name} with t={t}"
+    # The bound tightens proportionally to t (same graph, larger t => smaller bound).
+    by_graph = {}
+    for name, t, max_score, bound in rows:
+        by_graph.setdefault(name, {})[t] = bound
+    for name, bounds in by_graph.items():
+        if 1 in bounds and 4 in bounds:
+            assert bounds[4] == pytest.approx(bounds[1] / 4)

@@ -1,0 +1,96 @@
+"""E1 — Theorem 1 / Corollary 2: spanner and t-bundle sizes and PRAM work.
+
+Paper claims (for k = log n):
+* a single spanner has expected O(n log n) edges and costs O(m log n) work
+  in O~(log n) depth;
+* a t-bundle has expected O(t n log n) edges and costs O(t m log n) work.
+
+Measured here: spanner edges vs n (divided by n log2 n it should be flat),
+bundle edges vs t (linear in t until the graph is exhausted), and the PRAM
+work/depth counters charged by the implementation.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import er_graph, print_table
+from repro.analysis.reporting import ExperimentTable
+from repro.graphs import generators as gen
+from repro.spanners.baswana_sen import baswana_sen_spanner
+from repro.spanners.bundle import t_bundle_spanner
+
+
+def _spanner_size_sweep():
+    table = ExperimentTable(
+        "E1a-spanner-size", ["n", "m", "spanner_edges", "edges_per_nlogn", "work_per_m", "depth"]
+    )
+    rows = []
+    for n in (128, 256, 512, 1024):
+        g = er_graph(n, min(0.5, 20.0 / n) * 2, seed=n)
+        result = baswana_sen_spanner(g, seed=n + 1)
+        ratio = result.spanner.num_edges / (n * np.log2(n))
+        table.add_row(
+            n=n,
+            m=g.num_edges,
+            spanner_edges=result.spanner.num_edges,
+            edges_per_nlogn=round(ratio, 3),
+            work_per_m=round(result.cost.work / g.num_edges, 2),
+            depth=round(result.cost.depth, 1),
+        )
+        rows.append((n, g.num_edges, result.spanner.num_edges, ratio, result.cost))
+    return table, rows
+
+
+def _bundle_size_sweep(graph):
+    table = ExperimentTable("E1b-bundle-size", ["t", "bundle_edges", "edges_per_component", "work"])
+    rows = []
+    for t in (1, 2, 4, 8):
+        bundle = t_bundle_spanner(graph, t=t, seed=t)
+        per_component = bundle.num_edges / max(bundle.t, 1)
+        table.add_row(
+            t=t,
+            bundle_edges=bundle.num_edges,
+            edges_per_component=round(per_component, 1),
+            work=round(bundle.cost.work, 0),
+        )
+        rows.append((t, bundle))
+    return table, rows
+
+
+def test_e1_spanner_size_scaling(benchmark):
+    table, rows = benchmark.pedantic(_spanner_size_sweep, rounds=1, iterations=1)
+    print_table(table, "Claim: spanner_edges = O(n log n); edges_per_nlogn stays bounded.")
+    ratios = [size / (n * np.log2(n)) for n, _, size, _, _ in rows]
+    # O(n log n): the normalised ratio stays within a constant band and does
+    # not grow systematically with n.
+    assert max(ratios) < 4.0
+    assert ratios[-1] < 2.0 * ratios[0] + 0.5
+    # Work O(m log n): work / m grows at most logarithmically.
+    work_per_m = [cost.work / m for _, m, _, _, cost in rows]
+    assert work_per_m[-1] / work_per_m[0] < 3.0
+    # Depth is polylogarithmic: far below the edge count.
+    for n, m, _, _, cost in rows:
+        assert cost.depth < 40 * np.log2(n) ** 2
+
+
+def test_e1_bundle_size_scaling(benchmark, dense_er_300):
+    table, rows = benchmark.pedantic(
+        _bundle_size_sweep, args=(dense_er_300,), rounds=1, iterations=1
+    )
+    print_table(table, "Claim: bundle edges grow ~linearly in t (O(t n log n)) until exhaustion.")
+    sizes = {t: bundle.num_edges for t, bundle in rows}
+    works = {t: bundle.cost.work for t, bundle in rows}
+    assert sizes[2] > sizes[1]
+    assert sizes[4] > sizes[2]
+    # Roughly linear growth while not exhausted: t=4 bundle is at least 2.5x t=1.
+    assert sizes[4] > 2.5 * sizes[1]
+    # Work grows with t as O(t m log n).
+    assert works[4] > 2.0 * works[1]
+
+
+def test_e1_bundle_components_disjoint_at_scale(benchmark, dense_er_300):
+    bundle = benchmark.pedantic(
+        t_bundle_spanner, args=(dense_er_300,), kwargs={"t": 4, "seed": 0}, rounds=1, iterations=1
+    )
+    seen = np.concatenate(bundle.component_edge_indices)
+    assert len(seen) == len(np.unique(seen))

@@ -1,0 +1,95 @@
+"""E6 — Theorem 5 (cost side): PRAM work/depth and distributed rounds/messages.
+
+Paper claims: PARALLELSPARSIFY does O(m log^2 n log^3 rho / eps^2) work in
+O(log^3 n log^3 rho / eps^2) parallel time; in the distributed model it
+runs in O(log^4 n log^3 rho / eps^2) rounds with
+O(m log^3 n log^3 rho / eps^2) communication and O(log n) messages.
+
+Measured: the PRAM counters vs m (work should scale ~linearly in m with a
+polylog factor; depth should be m-independent) and the distributed
+counters vs m (rounds m-independent, messages ~linear in m).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import er_graph, print_table
+from repro.analysis.reporting import ExperimentTable
+from repro.core.config import SparsifierConfig
+from repro.core.distributed_sparsify import distributed_parallel_sparsify
+from repro.core.sparsify import parallel_sparsify
+
+CONFIG = SparsifierConfig.practical(bundle_t=2)
+
+
+def _pram_scaling_sweep():
+    table = ExperimentTable(
+        "E6a-pram-scaling", ["n", "m", "work", "work_per_m", "depth", "output_edges"]
+    )
+    rows = []
+    n = 220
+    for p in (0.1, 0.2, 0.4):
+        g = er_graph(n, p, seed=int(p * 100))
+        result = parallel_sparsify(g, epsilon=0.5, rho=4, config=CONFIG, seed=1)
+        table.add_row(
+            n=n,
+            m=g.num_edges,
+            work=round(result.cost.work, 0),
+            work_per_m=round(result.cost.work / g.num_edges, 1),
+            depth=round(result.cost.depth, 1),
+            output_edges=result.output_edges,
+        )
+        rows.append((g, result))
+    return table, rows
+
+
+def _distributed_scaling_sweep():
+    table = ExperimentTable(
+        "E6b-distributed-scaling", ["n", "m", "rounds", "messages", "messages_per_m", "max_msg_words"]
+    )
+    rows = []
+    n = 120
+    for p in (0.08, 0.16, 0.32):
+        g = er_graph(n, p, seed=int(p * 1000))
+        result = distributed_parallel_sparsify(g, epsilon=0.5, rho=4, config=CONFIG, seed=2)
+        table.add_row(
+            n=n,
+            m=g.num_edges,
+            rounds=result.cost.rounds,
+            messages=result.cost.messages,
+            messages_per_m=round(result.cost.messages / g.num_edges, 1),
+            max_msg_words=result.cost.max_message_words,
+        )
+        rows.append((g, result))
+    return table, rows
+
+
+def test_e6_pram_work_scales_with_m_depth_does_not(benchmark):
+    table, rows = benchmark.pedantic(_pram_scaling_sweep, rounds=1, iterations=1)
+    print_table(
+        table,
+        "Claims: work/m stays within a polylog band (near-linear total work);\n"
+        "depth is essentially independent of m (polylog parallel time).",
+    )
+    work_per_m = [result.cost.work / g.num_edges for g, result in rows]
+    assert max(work_per_m) / min(work_per_m) < 3.0
+    depths = [result.cost.depth for _, result in rows]
+    ms = [g.num_edges for g, _ in rows]
+    # Depth grows far slower than m: quadrupling m less than doubles depth.
+    assert ms[-1] / ms[0] > 3.0
+    assert depths[-1] / depths[0] < 2.0
+
+
+def test_e6_distributed_rounds_independent_of_m(benchmark):
+    table, rows = benchmark.pedantic(_distributed_scaling_sweep, rounds=1, iterations=1)
+    print_table(
+        table,
+        "Claims: rounds do not grow with m; total messages grow ~linearly with m;\n"
+        "message size stays O(log n).",
+    )
+    rounds = [result.cost.rounds for _, result in rows]
+    messages_per_m = [result.cost.messages / g.num_edges for g, result in rows]
+    assert max(rounds) <= 1.4 * min(rounds) + 4
+    assert max(messages_per_m) / min(messages_per_m) < 3.0
+    for g, result in rows:
+        assert result.cost.max_message_words <= 4 * int(np.ceil(np.log2(g.num_vertices))) + 16

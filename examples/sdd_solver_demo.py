@@ -1,0 +1,77 @@
+"""Solving SDD linear systems with the sparsifier-powered chain solver.
+
+Run with:  python examples/sdd_solver_demo.py
+
+Reproduces the Section-4 / Theorem-6 story end to end:
+
+* build an approximate inverse chain for a grid Laplacian, with each level
+  sparsified by ``PARALLELSPARSIFY`` so the chain does not densify;
+* solve a Laplacian system with chain-preconditioned CG and compare the
+  iteration count and work against plain CG and Jacobi-CG;
+* solve a general SDD system through the Gremban reduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SparsifierConfig, generators, solve_laplacian, solve_sdd
+from repro.solvers.chain import build_inverse_chain
+from repro.solvers.peng_spielman import baseline_cg_solve, baseline_jacobi_cg_solve
+
+
+def laplacian_demo() -> None:
+    graph = generators.grid_graph(30, 30)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(graph.num_vertices)
+    b -= b.mean()
+    config = SparsifierConfig.practical(bundle_t=2)
+
+    print(f"grid Laplacian: n={graph.num_vertices}, m={graph.num_edges}")
+
+    plain = baseline_cg_solve(graph, b, tol=1e-8)
+    jacobi = baseline_jacobi_cg_solve(graph, b, tol=1e-8)
+    chained = solve_laplacian(graph, b, tol=1e-8, config=config, seed=1)
+
+    print(f"  plain CG       : {plain.iterations:4d} iterations, work ~{plain.work:.2e}")
+    print(f"  Jacobi-PCG     : {jacobi.iterations:4d} iterations, work ~{jacobi.work:.2e}")
+    print(f"  chain-PCG      : {chained.result.iterations:4d} iterations, "
+          f"work ~{chained.result.work:.2e}")
+    print(f"  chain: {chained.work_model.summary()}")
+    residual = np.linalg.norm(graph.laplacian() @ chained.x - b) / np.linalg.norm(b)
+    print(f"  final relative residual: {residual:.2e}")
+
+    # Show what sparsification buys: level sizes with and without it.
+    sparsified = build_inverse_chain(graph, config=config, sparsify=True, seed=2, max_levels=8)
+    dense = build_inverse_chain(graph, config=config, sparsify=False, seed=2, max_levels=8)
+    print("  chain level nnz (sparsified)    :", [level.nnz for level in sparsified.levels])
+    print("  chain level nnz (no sparsifier) :", [level.nnz for level in dense.levels])
+
+
+def sdd_demo() -> None:
+    rng = np.random.default_rng(3)
+    n = 120
+    # Random sparse SDD matrix with mixed-sign off-diagonals.
+    mask = rng.random((n, n)) < 0.06
+    off = rng.uniform(-1.0, 1.0, size=(n, n)) * mask
+    off = 0.5 * (off + off.T)
+    np.fill_diagonal(off, 0.0)
+    matrix = np.diag(np.abs(off).sum(axis=1) + rng.uniform(0.2, 1.0, n)) + off
+    x_true = rng.standard_normal(n)
+    b = matrix @ x_true
+
+    report = solve_sdd(matrix, b, tol=1e-10, config=SparsifierConfig.practical(bundle_t=2), seed=4)
+    error = np.linalg.norm(report.x - x_true) / np.linalg.norm(x_true)
+    print(f"\nSDD system (n={n}): {report.result.iterations} iterations, "
+          f"relative solution error {error:.2e}")
+    print(f"  condition estimate: {report.condition_estimate:.1f}, "
+          f"chain depth {report.chain.depth}, chain nnz {report.work_model.chain_total_nnz}")
+
+
+def main() -> None:
+    laplacian_demo()
+    sdd_demo()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — spanner-based spectral graph sparsification.
+
+Reproduction of *Simple Parallel and Distributed Algorithms for Spectral
+Graph Sparsification* (Ioannis Koutis, SPAA 2014).  The package provides
+
+* the paper's sparsification algorithms ``PARALLELSAMPLE`` and
+  ``PARALLELSPARSIFY`` with measured spectral certificates
+  (:mod:`repro.core`),
+* every substrate they depend on: weighted graph containers and
+  generators (:mod:`repro.graphs`), Baswana–Sen spanners and t-bundles
+  (:mod:`repro.spanners`), effective resistances and stretch
+  (:mod:`repro.resistance`), PRAM work/depth accounting and a synchronous
+  distributed simulator (:mod:`repro.parallel`), and the numerical tools
+  (:mod:`repro.linalg`),
+* the Peng–Spielman approximate-inverse-chain SDD solver with the
+  sparsifier plugged in (:mod:`repro.solvers`),
+* baselines (Spielman–Srivastava, uniform, Kapralov–Panigrahi-style) in
+  :mod:`repro.baselines`, and
+* measurement/reporting helpers for the experiment harness
+  (:mod:`repro.analysis`).
+
+Quick start
+-----------
+>>> from repro import generators, parallel_sparsify, certify_approximation
+>>> g = generators.erdos_renyi_graph(300, 0.2, seed=1, ensure_connected=True)
+>>> result = parallel_sparsify(g, epsilon=0.5, rho=4, seed=2)
+>>> cert = certify_approximation(g, result.sparsifier)
+>>> cert.lower > 0 and cert.upper < 10
+True
+"""
+
+from repro._version import __version__
+
+# Graph substrate.
+from repro.graphs import Graph, generators
+from repro.graphs.operations import graph_sum, graph_difference, graph_scale
+
+# Spanners.
+from repro.spanners import (
+    baswana_sen_spanner,
+    greedy_spanner,
+    t_bundle_spanner,
+    distributed_baswana_sen_spanner,
+)
+
+# Core sparsification.
+from repro.core import (
+    SparsifierConfig,
+    parallel_sample,
+    parallel_sparsify,
+    certify_approximation,
+    SpectralCertificate,
+    distributed_parallel_sample,
+    distributed_parallel_sparsify,
+)
+
+# Resistances.
+from repro.resistance import (
+    effective_resistance,
+    effective_resistances_all_edges,
+    leverage_scores,
+    approximate_effective_resistances,
+)
+
+# Solver.
+from repro.solvers import solve_laplacian, solve_sdd, build_inverse_chain
+
+# Baselines.
+from repro.baselines import (
+    spielman_srivastava_sparsify,
+    uniform_sparsify,
+    kapralov_panigrahi_sparsify,
+)
+
+# Parallel / distributed models.
+from repro.parallel import PRAMTracker, DistributedSimulator, PRAMCost, DistributedCost
+
+__all__ = [
+    "__version__",
+    "Graph",
+    "generators",
+    "graph_sum",
+    "graph_difference",
+    "graph_scale",
+    "baswana_sen_spanner",
+    "greedy_spanner",
+    "t_bundle_spanner",
+    "distributed_baswana_sen_spanner",
+    "SparsifierConfig",
+    "parallel_sample",
+    "parallel_sparsify",
+    "certify_approximation",
+    "SpectralCertificate",
+    "distributed_parallel_sample",
+    "distributed_parallel_sparsify",
+    "effective_resistance",
+    "effective_resistances_all_edges",
+    "leverage_scores",
+    "approximate_effective_resistances",
+    "solve_laplacian",
+    "solve_sdd",
+    "build_inverse_chain",
+    "spielman_srivastava_sparsify",
+    "uniform_sparsify",
+    "kapralov_panigrahi_sparsify",
+    "PRAMTracker",
+    "DistributedSimulator",
+    "PRAMCost",
+    "DistributedCost",
+]

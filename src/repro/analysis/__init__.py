@@ -1,0 +1,26 @@
+"""Measurement and reporting utilities for the experiments.
+
+* :mod:`repro.analysis.spectral` — quality measurements beyond the basic
+  certificate: quadratic-form ratio sampling, effective-resistance
+  preservation, connectivity checks.
+* :mod:`repro.analysis.reporting` — experiment records and plain-text
+  table rendering used by the benchmark harness (the "rows the paper would
+  report").
+"""
+
+from repro.analysis.spectral import (
+    approximation_report,
+    quadratic_form_ratios,
+    resistance_preservation,
+    ApproximationReport,
+)
+from repro.analysis.reporting import ExperimentTable, format_table
+
+__all__ = [
+    "approximation_report",
+    "quadratic_form_ratios",
+    "resistance_preservation",
+    "ApproximationReport",
+    "ExperimentTable",
+    "format_table",
+]

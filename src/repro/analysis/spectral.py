@@ -1,0 +1,143 @@
+"""Spectral quality measurements for sparsifier outputs.
+
+The :class:`repro.core.certificates.SpectralCertificate` gives the extreme
+generalised eigenvalues; the helpers here add the complementary views the
+experiments report:
+
+* sampled quadratic-form ratios ``x^T L_H x / x^T L_G x`` over random test
+  vectors (a cheap, solver-free sanity check that also exercises the
+  Laplacian quadratic-form fast path),
+* effective-resistance preservation across a set of probe vertex pairs
+  (sparsifiers preserve all resistances within ``(1 ± eps)^{-1}`` factors),
+* connectivity preservation (a spectral sparsifier of a connected graph
+  must be connected).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.certificates import SpectralCertificate, certify_approximation
+from repro.graphs.connectivity import connected_components, is_connected
+from repro.graphs.graph import Graph
+from repro.resistance.exact import effective_resistances_of_pairs
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = [
+    "ApproximationReport",
+    "quadratic_form_ratios",
+    "resistance_preservation",
+    "approximation_report",
+]
+
+
+@dataclass
+class ApproximationReport:
+    """Bundle of quality metrics for one (original, sparsifier) pair."""
+
+    certificate: SpectralCertificate
+    quadratic_ratio_min: float
+    quadratic_ratio_max: float
+    resistance_ratio_min: float
+    resistance_ratio_max: float
+    edges_original: int
+    edges_sparsifier: int
+    connectivity_preserved: bool
+
+    @property
+    def edge_reduction(self) -> float:
+        if self.edges_sparsifier == 0:
+            return float("inf") if self.edges_original else 1.0
+        return self.edges_original / self.edges_sparsifier
+
+
+def quadratic_form_ratios(
+    original: Graph,
+    sparsifier: Graph,
+    num_vectors: int = 32,
+    seed: SeedLike = None,
+) -> Tuple[float, float]:
+    """Min/max of ``x^T L_H x / x^T L_G x`` over random mean-zero test vectors.
+
+    Random Gaussian vectors concentrate away from the extreme eigenvectors,
+    so these ratios are *inside* the certificate interval; they serve as a
+    cheap cross-check and as the quantity a user of the sparsifier (e.g. a
+    cut/embedding application) actually experiences.
+    """
+    rng = as_rng(seed)
+    n = original.num_vertices
+    ratios = []
+    for _ in range(num_vectors):
+        x = rng.standard_normal(n)
+        x -= x.mean()
+        denom = original.quadratic_form(x)
+        if denom <= 1e-14:
+            continue
+        ratios.append(sparsifier.quadratic_form(x) / denom)
+    if not ratios:
+        return 1.0, 1.0
+    return float(np.min(ratios)), float(np.max(ratios))
+
+
+def resistance_preservation(
+    original: Graph,
+    sparsifier: Graph,
+    num_pairs: int = 32,
+    seed: SeedLike = None,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+) -> Tuple[float, float]:
+    """Min/max ratio of effective resistances (sparsifier / original) over probe pairs."""
+    rng = as_rng(seed)
+    n = original.num_vertices
+    if pairs is None:
+        labels = connected_components(original)
+        candidate_pairs = []
+        attempts = 0
+        while len(candidate_pairs) < num_pairs and attempts < 50 * num_pairs:
+            attempts += 1
+            a, b = rng.integers(0, n, size=2)
+            if a != b and labels[a] == labels[b]:
+                candidate_pairs.append((int(a), int(b)))
+        pairs = candidate_pairs
+    if not pairs:
+        return 1.0, 1.0
+    original_resistances = effective_resistances_of_pairs(original, pairs)
+    sparsifier_resistances = effective_resistances_of_pairs(sparsifier, pairs)
+    ratios = sparsifier_resistances / np.maximum(original_resistances, 1e-300)
+    return float(np.min(ratios)), float(np.max(ratios))
+
+
+def approximation_report(
+    original: Graph,
+    sparsifier: Graph,
+    num_vectors: int = 32,
+    num_pairs: int = 16,
+    seed: SeedLike = None,
+    include_resistances: bool = True,
+) -> ApproximationReport:
+    """Compute the full quality report used by EXPERIMENTS.md tables."""
+    certificate = certify_approximation(original, sparsifier)
+    q_min, q_max = quadratic_form_ratios(original, sparsifier, num_vectors=num_vectors, seed=seed)
+    if include_resistances and is_connected(original) and is_connected(sparsifier):
+        r_min, r_max = resistance_preservation(
+            original, sparsifier, num_pairs=num_pairs, seed=seed
+        )
+    else:
+        r_min, r_max = float("nan"), float("nan")
+    connectivity = (
+        int(connected_components(sparsifier).max(initial=0))
+        == int(connected_components(original).max(initial=0))
+    )
+    return ApproximationReport(
+        certificate=certificate,
+        quadratic_ratio_min=q_min,
+        quadratic_ratio_max=q_max,
+        resistance_ratio_min=r_min,
+        resistance_ratio_max=r_max,
+        edges_original=original.num_edges,
+        edges_sparsifier=sparsifier.num_edges,
+        connectivity_preserved=bool(connectivity),
+    )

@@ -1,0 +1,29 @@
+"""Baseline sparsification algorithms the paper compares against.
+
+* :mod:`repro.baselines.spielman_srivastava` — effective-resistance
+  importance sampling [23]: the gold-standard size/quality trade-off, but
+  it needs a Laplacian solver (or sketching built on one), which is
+  exactly the dependence the paper's solve-free algorithm removes.
+* :mod:`repro.baselines.uniform` — naive uniform edge sampling without a
+  bundle: demonstrates why the certificate matters (bridges/dumbbells
+  break it).
+* :mod:`repro.baselines.kapralov_panigrahi` — a re-interpretation of the
+  Kapralov–Panigrahi spanner-based sparsifier [7]: a single spanner
+  certifies "robust connectivity" upper bounds that are then oversampled,
+  paying the ``1/eps^4``-type dependence Remark 4 contrasts with this
+  paper's ``1/eps^2``.
+"""
+
+from repro.baselines.spielman_srivastava import (
+    SSResult,
+    spielman_srivastava_sparsify,
+)
+from repro.baselines.uniform import uniform_sparsify
+from repro.baselines.kapralov_panigrahi import kapralov_panigrahi_sparsify
+
+__all__ = [
+    "SSResult",
+    "spielman_srivastava_sparsify",
+    "uniform_sparsify",
+    "kapralov_panigrahi_sparsify",
+]

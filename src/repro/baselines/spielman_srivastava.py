@@ -1,0 +1,135 @@
+"""Spielman–Srivastava effective-resistance sampling [23].
+
+The scheme: fix a number of samples ``q``; draw ``q`` edges independently
+with replacement with probabilities ``p_e ∝ w_e R_e`` (the leverage
+scores); each drawn copy of edge ``e`` is added with weight
+``w_e / (q p_e)``.  With ``q = O(n log n / eps^2)`` the result is a
+``(1 ± eps)`` sparsifier w.h.p.
+
+The resistances can be exact (pseudoinverse; small graphs) or approximate
+(JL sketching; the original paper's approach, implemented in
+:mod:`repro.resistance.approx`) — the latter is what makes the scheme need
+a Laplacian solver, which is the dependence the spanner-based algorithm
+avoids.  Both paths are exposed so benchmarks can show the trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import SparsificationError
+from repro.graphs.graph import Graph
+from repro.resistance.approx import approximate_effective_resistances
+from repro.resistance.exact import effective_resistances_all_edges
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["SSResult", "spielman_srivastava_sparsify", "ss_sample_count"]
+
+
+@dataclass
+class SSResult:
+    """Output of the Spielman–Srivastava sampler."""
+
+    sparsifier: Graph
+    num_samples: int
+    epsilon: float
+    probabilities: np.ndarray
+    resistances: np.ndarray
+    distinct_edges: int
+    solver_based: bool
+
+
+def ss_sample_count(num_vertices: int, epsilon: float, constant: float = 9.0) -> int:
+    """Number of samples ``q = constant * n * ln(n) / eps^2``.
+
+    The constant in [23] is an absolute constant hidden in O(); 9 gives
+    reliable (1 ± eps) behaviour on the graph families in the benchmarks
+    while keeping the comparison fair (the paper's own algorithm is also
+    run with measured rather than worst-case constants).
+    """
+    if epsilon <= 0:
+        raise SparsificationError("epsilon must be positive")
+    n = max(num_vertices, 2)
+    return max(1, int(np.ceil(constant * n * np.log(n) / (epsilon * epsilon))))
+
+
+def spielman_srivastava_sparsify(
+    graph: Graph,
+    epsilon: float = 0.5,
+    num_samples: Optional[int] = None,
+    use_approximate_resistances: bool = False,
+    resistance_delta: float = 0.3,
+    seed: SeedLike = None,
+    sample_constant: float = 9.0,
+) -> SSResult:
+    """Sparsify ``graph`` by effective-resistance importance sampling.
+
+    Parameters
+    ----------
+    graph:
+        Connected weighted graph.
+    epsilon:
+        Target approximation parameter.
+    num_samples:
+        Explicit sample count ``q`` (default :func:`ss_sample_count`).
+    use_approximate_resistances:
+        Use JL-sketched resistances (the solver-based path of [23]) rather
+        than exact pseudoinverse resistances.
+    resistance_delta:
+        Accuracy of the sketched resistances; the sampler compensates by
+        oversampling with factor ``(1 + delta)``.
+    seed:
+        RNG seed.
+    sample_constant:
+        Constant in the default sample count.
+    """
+    if graph.num_edges == 0:
+        return SSResult(
+            sparsifier=graph,
+            num_samples=0,
+            epsilon=epsilon,
+            probabilities=np.zeros(0),
+            resistances=np.zeros(0),
+            distinct_edges=0,
+            solver_based=use_approximate_resistances,
+        )
+    rng = as_rng(seed)
+    n = graph.num_vertices
+    if num_samples is None:
+        num_samples = ss_sample_count(n, epsilon, constant=sample_constant)
+
+    if use_approximate_resistances:
+        resistances = approximate_effective_resistances(
+            graph, delta=resistance_delta, seed=rng
+        )
+        oversample = 1.0 + resistance_delta
+    else:
+        resistances = effective_resistances_all_edges(graph)
+        oversample = 1.0
+
+    scores = np.maximum(graph.edge_weights * resistances, 1e-15)
+    probabilities = scores / scores.sum()
+    q = int(np.ceil(num_samples * oversample))
+
+    counts = rng.multinomial(q, probabilities)
+    chosen = np.flatnonzero(counts)
+    # Each copy of edge e contributes weight w_e / (q p_e); summing copies
+    # gives counts * w_e / (q p_e).
+    new_weights = (
+        counts[chosen] * graph.edge_weights[chosen] / (q * probabilities[chosen])
+    )
+    sparsifier = Graph(
+        n, graph.edge_u[chosen], graph.edge_v[chosen], new_weights
+    )
+    return SSResult(
+        sparsifier=sparsifier,
+        num_samples=q,
+        epsilon=epsilon,
+        probabilities=probabilities,
+        resistances=resistances,
+        distinct_edges=int(chosen.shape[0]),
+        solver_based=use_approximate_resistances,
+    )

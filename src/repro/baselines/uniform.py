@@ -1,0 +1,55 @@
+"""Naive uniform edge sampling (no bundle, no resistances).
+
+Keeps each edge independently with probability ``p`` and rescales kept
+edges by ``1/p``.  The expectation of the Laplacian is preserved, but with
+no certificate on the leverage scores the variance is unbounded: a bridge
+edge (leverage 1) is dropped with probability ``1 - p`` and the graph
+disconnects, destroying the spectral approximation.  This is the
+counter-example baseline showing why ``PARALLELSAMPLE`` spends its effort
+on the bundle before sampling uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import SparsificationError
+from repro.graphs.graph import Graph
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["UniformSampleResult", "uniform_sparsify"]
+
+
+@dataclass
+class UniformSampleResult:
+    """Output of uniform sampling."""
+
+    sparsifier: Graph
+    probability: float
+    input_edges: int
+    output_edges: int
+
+
+def uniform_sparsify(
+    graph: Graph, probability: float = 0.25, seed: SeedLike = None
+) -> UniformSampleResult:
+    """Keep each edge independently with probability ``probability``, reweighted by ``1/p``."""
+    if not 0 < probability <= 1:
+        raise SparsificationError(f"probability must lie in (0, 1], got {probability}")
+    rng = as_rng(seed)
+    keep = rng.random(graph.num_edges) < probability
+    kept = np.flatnonzero(keep)
+    sparsifier = Graph(
+        graph.num_vertices,
+        graph.edge_u[kept],
+        graph.edge_v[kept],
+        graph.edge_weights[kept] / probability,
+    )
+    return UniformSampleResult(
+        sparsifier=sparsifier,
+        probability=probability,
+        input_edges=graph.num_edges,
+        output_edges=sparsifier.num_edges,
+    )

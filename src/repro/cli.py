@@ -1,0 +1,124 @@
+"""Command-line interface: sparsify / span graphs stored as edge lists.
+
+Installed as the ``repro-sparsify`` console script (see ``pyproject.toml``)
+and also runnable as ``python -m repro.cli``.
+
+Subcommands
+-----------
+``sparsify``
+    Run ``PARALLELSPARSIFY`` on a weighted edge-list file and write the
+    sparsifier to another edge-list file, printing a summary (edge counts,
+    rounds, and — optionally — the measured spectral certificate).
+``spanner``
+    Compute a Baswana–Sen log n-spanner (or a t-bundle) of an edge-list
+    file and write it out.
+
+The edge-list format is the one produced by
+:func:`repro.graphs.io.write_edge_list`: a ``# n m`` header followed by
+``u v w`` lines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.certificates import certify_approximation
+from repro.core.config import SparsifierConfig
+from repro.core.sparsify import parallel_sparsify
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.spanners.baswana_sen import baswana_sen_spanner
+from repro.spanners.bundle import t_bundle_spanner
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-sparsify",
+        description="Spanner-based spectral graph sparsification (Koutis, SPAA 2014).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sparsify = subparsers.add_parser("sparsify", help="run PARALLELSPARSIFY on an edge list")
+    sparsify.add_argument("input", help="input edge-list file (# n m header, 'u v w' lines)")
+    sparsify.add_argument("output", help="output edge-list file for the sparsifier")
+    sparsify.add_argument("--epsilon", type=float, default=0.5, help="target epsilon (default 0.5)")
+    sparsify.add_argument("--rho", type=float, default=4.0, help="sparsification factor (default 4)")
+    sparsify.add_argument("--bundle-t", type=int, default=None,
+                          help="explicit bundle size (default: practical-mode ~log n)")
+    sparsify.add_argument("--mode", choices=["practical", "theory"], default="practical",
+                          help="constant regime (default practical)")
+    sparsify.add_argument("--tree-bundle", action="store_true",
+                          help="use low-stretch-tree bundles (Remark 2) instead of spanners")
+    sparsify.add_argument("--seed", type=int, default=0, help="random seed")
+    sparsify.add_argument("--certify", action="store_true",
+                          help="also measure the spectral certificate (dense eigensolve; small graphs only)")
+
+    spanner = subparsers.add_parser("spanner", help="compute a spanner / t-bundle of an edge list")
+    spanner.add_argument("input", help="input edge-list file")
+    spanner.add_argument("output", help="output edge-list file for the spanner")
+    spanner.add_argument("--t", type=int, default=1, help="bundle size (1 = a single spanner)")
+    spanner.add_argument("--k", type=int, default=None,
+                         help="Baswana-Sen parameter k (default ceil(log2 n))")
+    spanner.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def _run_sparsify(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    config = SparsifierConfig(
+        epsilon=args.epsilon,
+        mode=args.mode,
+        bundle_t=args.bundle_t,
+        use_tree_bundle=args.tree_bundle,
+    )
+    result = parallel_sparsify(
+        graph, epsilon=args.epsilon, rho=args.rho, config=config, seed=args.seed
+    )
+    write_edge_list(result.sparsifier, args.output)
+    print(f"input : n={graph.num_vertices} m={graph.num_edges}")
+    print(f"output: m={result.output_edges} "
+          f"({result.reduction_factor:.2f}x reduction, {len(result.rounds)} rounds)")
+    for record in result.rounds:
+        print(f"  round {record.round_index}: {record.input_edges} -> {record.output_edges} "
+              f"(bundle {record.bundle_edges}, sampled {record.sampled_edges})")
+    if args.certify:
+        cert = certify_approximation(graph, result.sparsifier)
+        print(f"certificate: {cert.lower:.4f} * G <= H <= {cert.upper:.4f} * G "
+              f"(eps_achieved={cert.epsilon_achieved:.4f})")
+    return 0
+
+
+def _run_spanner(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    if args.t <= 1:
+        result = baswana_sen_spanner(graph, k=args.k, seed=args.seed)
+        spanner = result.spanner
+        print(f"spanner: {spanner.num_edges} of {graph.num_edges} edges "
+              f"(stretch target {result.stretch_target:.0f})")
+    else:
+        bundle = t_bundle_spanner(graph, t=args.t, k=args.k, seed=args.seed)
+        spanner = bundle.bundle
+        print(f"{bundle.t}-bundle: {bundle.num_edges} of {graph.num_edges} edges"
+              f"{' (exhausted the graph)' if bundle.exhausted else ''}")
+    write_edge_list(spanner, args.output)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "sparsify":
+        return _run_sparsify(args)
+    if args.command == "spanner":
+        return _run_spanner(args)
+    parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    return 2  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

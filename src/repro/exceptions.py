@@ -1,0 +1,46 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All library-specific failures derive from :class:`ReproError`, so callers
+can catch one type.  Individual subsystems raise the more specific
+subclasses below; generic argument errors still use ``ValueError`` /
+``TypeError`` as is idiomatic.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Malformed or unsupported graph input (bad edges, negative weights...)."""
+
+
+class DisconnectedGraphError(GraphError):
+    """An operation that requires connectivity received a disconnected graph."""
+
+
+class NotSDDError(ReproError):
+    """A matrix passed to the SDD solver stack is not symmetric diagonally dominant."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach the requested tolerance."""
+
+    def __init__(self, message: str, iterations: int | None = None, residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class SparsificationError(ReproError):
+    """The sparsification pipeline could not produce a valid output."""
+
+
+class SimulationError(ReproError):
+    """The PRAM or distributed simulator was driven into an invalid state."""
+
+
+class MessageTooLargeError(SimulationError):
+    """A distributed message exceeded the O(log n) size budget of the model."""

@@ -1,0 +1,101 @@
+"""Conversions between :class:`repro.graphs.Graph` and external formats.
+
+Supported targets: ``networkx`` graphs (for visual inspection and as an
+independent implementation to cross-check algorithms against in tests) and
+SciPy sparse adjacency / Laplacian matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = [
+    "to_networkx",
+    "from_networkx",
+    "to_scipy_adjacency",
+    "from_scipy_adjacency",
+    "to_scipy_laplacian",
+    "from_laplacian",
+]
+
+
+def to_networkx(graph: Graph, coalesce: bool = True) -> nx.Graph:
+    """Convert to a ``networkx.Graph`` with ``weight`` edge attributes.
+
+    Parallel edges are merged (weights summed) by default because
+    ``networkx.Graph`` is a simple graph; pass ``coalesce=False`` to get a
+    ``networkx.MultiGraph`` preserving multiplicities instead.
+    """
+    if coalesce:
+        source = graph.coalesce()
+        out: nx.Graph = nx.Graph()
+    else:
+        source = graph
+        out = nx.MultiGraph()
+    out.add_nodes_from(range(source.num_vertices))
+    out.add_weighted_edges_from(
+        (int(u), int(v), float(w)) for u, v, w in source.edges()
+    )
+    return out
+
+
+def from_networkx(nx_graph: nx.Graph, weight_attr: str = "weight") -> Graph:
+    """Convert a ``networkx`` (multi)graph with integer-like nodes to a Graph.
+
+    Nodes are relabelled to ``0..n-1`` in sorted order; missing weight
+    attributes default to 1.
+    """
+    nodes = sorted(nx_graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    us, vs, ws = [], [], []
+    for a, b, data in nx_graph.edges(data=True):
+        if a == b:
+            continue  # Laplacians ignore self loops.
+        us.append(index[a])
+        vs.append(index[b])
+        ws.append(float(data.get(weight_attr, 1.0)))
+    return Graph(len(nodes), us, vs, ws)
+
+
+def to_scipy_adjacency(graph: Graph) -> sp.csr_matrix:
+    """Symmetric CSR adjacency matrix (parallel edges summed)."""
+    return graph.adjacency()
+
+
+def from_scipy_adjacency(adjacency: sp.spmatrix) -> Graph:
+    """Graph from a symmetric sparse adjacency matrix (upper triangle read)."""
+    return Graph.from_sparse_adjacency(adjacency)
+
+
+def to_scipy_laplacian(graph: Graph) -> sp.csr_matrix:
+    """CSR Laplacian ``D - A``."""
+    return graph.laplacian()
+
+
+def from_laplacian(laplacian: sp.spmatrix, tol: float = 0.0) -> Graph:
+    """Graph whose Laplacian equals ``laplacian`` (off-diagonals negated).
+
+    Positive off-diagonal entries (which cannot come from a graph) raise a
+    :class:`repro.exceptions.GraphError`.
+    """
+    lap = sp.coo_matrix(laplacian)
+    if lap.shape[0] != lap.shape[1]:
+        raise GraphError(f"Laplacian must be square, got shape {lap.shape}")
+    mask = lap.row < lap.col
+    weights = -lap.data[mask]
+    if np.any(weights < -1e-12):
+        raise GraphError("matrix has positive off-diagonal entries; not a graph Laplacian")
+    keep = weights > tol
+    return Graph(
+        lap.shape[0],
+        lap.row[mask][keep].astype(np.int64),
+        lap.col[mask][keep].astype(np.int64),
+        weights[keep],
+    )

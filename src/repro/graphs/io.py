@@ -1,0 +1,94 @@
+"""Reading and writing graphs.
+
+Two formats are supported:
+
+* a plain-text weighted edge list (one ``u v w`` triple per line with a
+  ``# n m`` header), convenient for interoperability and eyeballing; and
+* a NumPy ``.npz`` container with the raw edge arrays, convenient for
+  large benchmark inputs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["write_edge_list", "read_edge_list", "save_npz", "load_npz"]
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write ``graph`` as a text edge list.
+
+    The first line is ``# <num_vertices> <num_edges>``; each subsequent
+    line is ``u v w`` with ``u < v``.
+    """
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# {graph.num_vertices} {graph.num_edges}\n")
+        for u, v, w in graph.edges():
+            handle.write(f"{u} {v} {w:.17g}\n")
+
+
+def read_edge_list(path: PathLike) -> Graph:
+    """Read a graph written by :func:`write_edge_list`.
+
+    Lines starting with ``#`` after the header are treated as comments.
+    Unweighted lines (``u v``) default to weight 1.
+    """
+    path = Path(path)
+    num_vertices = None
+    us, vs, ws = [], [], []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_no, raw in enumerate(handle):
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                if num_vertices is None:
+                    parts = line[1:].split()
+                    if len(parts) >= 1:
+                        try:
+                            num_vertices = int(parts[0])
+                        except ValueError as exc:
+                            raise GraphError(
+                                f"malformed header on line {line_no + 1}: {raw!r}"
+                            ) from exc
+                continue
+            parts = line.split()
+            if len(parts) not in (2, 3):
+                raise GraphError(f"malformed edge on line {line_no + 1}: {raw!r}")
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) == 3 else 1.0)
+    if num_vertices is None:
+        num_vertices = (max(max(us, default=-1), max(vs, default=-1)) + 1) if us else 0
+    return Graph(num_vertices, us, vs, ws)
+
+
+def save_npz(graph: Graph, path: PathLike) -> None:
+    """Save a graph's edge arrays to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        Path(path),
+        num_vertices=np.int64(graph.num_vertices),
+        u=graph.edge_u,
+        v=graph.edge_v,
+        w=graph.edge_weights,
+    )
+
+
+def load_npz(path: PathLike) -> Graph:
+    """Load a graph saved with :func:`save_npz`."""
+    with np.load(Path(path)) as data:
+        required = {"num_vertices", "u", "v", "w"}
+        missing = required - set(data.files)
+        if missing:
+            raise GraphError(f"npz file missing arrays: {sorted(missing)}")
+        return Graph(int(data["num_vertices"]), data["u"], data["v"], data["w"])

@@ -1,0 +1,152 @@
+"""Laplacian and incidence-matrix utilities.
+
+These functions operate directly on edge arrays or sparse matrices and are
+used both by the :class:`repro.graphs.Graph` methods and by code paths
+(e.g. the Peng--Spielman chain construction) that manipulate Laplacians
+without materialising a ``Graph`` object.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+
+__all__ = [
+    "laplacian_from_edges",
+    "incidence_matrix",
+    "edge_laplacian",
+    "weighted_degrees",
+    "laplacian_quadratic_form",
+    "is_laplacian",
+    "laplacian_to_graph_arrays",
+]
+
+
+def laplacian_from_edges(
+    num_vertices: int, u: np.ndarray, v: np.ndarray, w: np.ndarray
+) -> sp.csr_matrix:
+    """Assemble the Laplacian ``L = D - A`` from parallel edge arrays.
+
+    Parallel edges are summed.  This is the vectorised assembly used
+    throughout the package; it never loops over edges in Python.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    w = np.asarray(w, dtype=np.float64)
+    if not (u.shape == v.shape == w.shape):
+        raise GraphError("edge arrays u, v, w must have identical shapes")
+    rows = np.concatenate([u, v, u, v])
+    cols = np.concatenate([v, u, u, v])
+    data = np.concatenate([-w, -w, w, w])
+    lap = sp.coo_matrix((data, (rows, cols)), shape=(num_vertices, num_vertices))
+    return lap.tocsr()
+
+
+def incidence_matrix(
+    num_vertices: int, u: np.ndarray, v: np.ndarray
+) -> sp.csr_matrix:
+    """Signed incidence matrix ``B`` with one row per edge.
+
+    Row ``e`` has ``+1`` at column ``u[e]`` and ``-1`` at column ``v[e]``,
+    so ``B.T @ diag(w) @ B`` is the weighted Laplacian.
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    m = u.shape[0]
+    rows = np.repeat(np.arange(m, dtype=np.int64), 2)
+    cols = np.empty(2 * m, dtype=np.int64)
+    data = np.empty(2 * m, dtype=np.float64)
+    cols[0::2] = u
+    cols[1::2] = v
+    data[0::2] = 1.0
+    data[1::2] = -1.0
+    return sp.csr_matrix((data, (rows, cols)), shape=(m, num_vertices))
+
+
+def edge_laplacian(num_vertices: int, a: int, b: int, weight: float = 1.0) -> sp.csr_matrix:
+    """Laplacian ``w * B_e`` of the single edge ``(a, b)``.
+
+    This is the rank-one matrix ``w (e_a - e_b)(e_a - e_b)^T`` used in the
+    matrix-Chernoff argument of Theorem 4: zero everywhere except a 2x2
+    submatrix.
+    """
+    if a == b:
+        raise GraphError("edge Laplacian of a self loop is undefined")
+    rows = np.array([a, b, a, b], dtype=np.int64)
+    cols = np.array([a, b, b, a], dtype=np.int64)
+    data = np.array([weight, weight, -weight, -weight], dtype=np.float64)
+    return sp.csr_matrix((data, (rows, cols)), shape=(num_vertices, num_vertices))
+
+
+def weighted_degrees(num_vertices: int, u: np.ndarray, v: np.ndarray, w: np.ndarray) -> np.ndarray:
+    """Weighted degree vector from parallel edge arrays."""
+    deg = np.zeros(num_vertices, dtype=np.float64)
+    if len(u):
+        np.add.at(deg, np.asarray(u, dtype=np.int64), np.asarray(w, dtype=float))
+        np.add.at(deg, np.asarray(v, dtype=np.int64), np.asarray(w, dtype=float))
+    return deg
+
+
+def laplacian_quadratic_form(
+    u: np.ndarray, v: np.ndarray, w: np.ndarray, x: np.ndarray
+) -> float:
+    """Evaluate ``x^T L x = sum_e w_e (x_u - x_v)^2`` from edge arrays."""
+    x = np.asarray(x, dtype=float)
+    if len(u) == 0:
+        return 0.0
+    diff = x[np.asarray(u, dtype=np.int64)] - x[np.asarray(v, dtype=np.int64)]
+    return float(np.dot(np.asarray(w, dtype=float), diff * diff))
+
+
+def is_laplacian(matrix: sp.spmatrix | np.ndarray, tol: float = 1e-8) -> bool:
+    """Check whether ``matrix`` is a graph Laplacian.
+
+    Requirements: square, symmetric, non-positive off-diagonal entries, and
+    zero row sums (within ``tol``).
+    """
+    if sp.issparse(matrix):
+        mat = matrix.tocsr()
+        n_rows, n_cols = mat.shape
+        if n_rows != n_cols:
+            return False
+        asym = abs(mat - mat.T)
+        if asym.nnz and asym.max() > tol:
+            return False
+        off = mat - sp.diags(mat.diagonal())
+        if off.nnz and off.max() > tol:
+            return False
+        row_sums = np.asarray(mat.sum(axis=1)).ravel()
+    else:
+        arr = np.asarray(matrix, dtype=float)
+        if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+            return False
+        if arr.size and np.max(np.abs(arr - arr.T)) > tol:
+            return False
+        off = arr - np.diag(np.diag(arr))
+        if off.size and off.max(initial=0.0) > tol:
+            return False
+        row_sums = arr.sum(axis=1)
+    return bool(np.all(np.abs(row_sums) <= tol * max(1.0, float(np.max(np.abs(row_sums), initial=0.0)))))
+
+
+def laplacian_to_graph_arrays(
+    laplacian: sp.spmatrix, weight_tol: float = 0.0
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray]:
+    """Extract ``(n, u, v, w)`` edge arrays from a Laplacian matrix.
+
+    Off-diagonal entries ``L[i, j] = -w_ij`` become edges; entries with
+    weight ``<= weight_tol`` are dropped (useful for clearing numerical
+    noise after forming products like ``A D^{-1} A``).
+    """
+    lap = sp.coo_matrix(laplacian)
+    n = lap.shape[0]
+    mask = lap.row < lap.col
+    rows = lap.row[mask]
+    cols = lap.col[mask]
+    weights = -lap.data[mask]
+    keep = weights > weight_tol
+    return n, rows[keep].astype(np.int64), cols[keep].astype(np.int64), weights[keep].astype(float)

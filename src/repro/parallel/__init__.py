@@ -1,0 +1,47 @@
+"""Parallel and distributed execution models.
+
+The paper's results are stated in two machine models:
+
+* the **CRCW PRAM**, where the relevant costs are *work* (total operations)
+  and *depth* (parallel time), and
+* the **synchronous distributed model** (CONGEST-style), where the costs
+  are *rounds*, *total communication*, and *message size* (required to be
+  O(log n) bits/words).
+
+Running on one laptop we cannot measure those costs with a stopwatch, so
+this subpackage provides the cost models themselves:
+
+* :mod:`repro.parallel.metrics` — work/depth and rounds/messages records
+  with sequential and parallel composition rules;
+* :mod:`repro.parallel.pram` — a tracker that algorithm implementations
+  charge as they execute their (vectorised) steps, reproducing the
+  quantities bounded by Corollary 2 and Theorems 4–5;
+* :mod:`repro.parallel.distributed` — an actual synchronous message-passing
+  simulator: per-node programs exchange size-limited messages in lock-step
+  rounds, and the simulator counts rounds/messages/sizes (Corollary 3);
+* :mod:`repro.parallel.scheduler` — an optional thread-pool executor for
+  running independent sub-tasks concurrently for real.
+"""
+
+from repro.parallel.metrics import DistributedCost, PRAMCost, combine_parallel, combine_sequential
+from repro.parallel.pram import PRAMTracker
+from repro.parallel.distributed import (
+    DistributedSimulator,
+    Message,
+    NodeContext,
+    NodeProgram,
+)
+from repro.parallel.scheduler import ParallelExecutor
+
+__all__ = [
+    "PRAMCost",
+    "DistributedCost",
+    "combine_parallel",
+    "combine_sequential",
+    "PRAMTracker",
+    "DistributedSimulator",
+    "Message",
+    "NodeContext",
+    "NodeProgram",
+    "ParallelExecutor",
+]

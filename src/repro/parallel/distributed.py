@@ -1,0 +1,263 @@
+"""Synchronous distributed (CONGEST-style) message-passing simulator.
+
+The paper's distributed results (Theorem 2, Corollary 3, Theorem 5) are
+stated in the synchronous model: computation proceeds in lock-step rounds;
+in each round every node may send one message to each neighbour; message
+length is restricted to O(log n) bits.  The simulator below reproduces that
+model faithfully enough to *measure* the quantities the theorems bound:
+
+* number of rounds executed,
+* total number of messages sent,
+* the largest message payload (in "words") — enforced against a budget so
+  that an algorithm silently exceeding the model's O(log n) restriction
+  fails loudly.
+
+Node programs subclass :class:`NodeProgram` and implement an initialisation
+hook plus a per-round step; nodes interact only through the
+:class:`NodeContext` handed to them, which restricts sends to graph
+neighbours.  Per-node RNG streams are split deterministically from the
+simulator seed so runs are reproducible regardless of node iteration
+order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import MessageTooLargeError, SimulationError
+from repro.graphs.graph import Graph
+from repro.parallel.metrics import DistributedCost
+from repro.utils.rng import RandomState, SeedLike, spawn_rngs
+
+__all__ = ["Message", "NodeContext", "NodeProgram", "DistributedSimulator"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A message delivered to a node at the start of a round.
+
+    Attributes
+    ----------
+    sender:
+        Vertex id of the sending node.
+    payload:
+        Arbitrary (but small) python object; its size in words is measured
+        by :func:`payload_words`.
+    """
+
+    sender: int
+    payload: Any
+
+
+def payload_words(payload: Any) -> int:
+    """Approximate size of a payload in machine words.
+
+    Scalars count as one word, tuples/lists/dicts as the sum of their
+    items, strings as ceil(len/8).  The point is not byte-exact accounting
+    but catching algorithms that ship whole adjacency lists in one message,
+    which would violate the O(log n)-bit CONGEST restriction.
+    """
+    if payload is None or isinstance(payload, (bool, int, float, np.integer, np.floating)):
+        return 1
+    if isinstance(payload, str):
+        return max(1, (len(payload) + 7) // 8)
+    if isinstance(payload, (tuple, list)):
+        return max(1, sum(payload_words(item) for item in payload))
+    if isinstance(payload, dict):
+        return max(1, sum(payload_words(k) + payload_words(v) for k, v in payload.items()))
+    if isinstance(payload, np.ndarray):
+        return max(1, int(payload.size))
+    # Unknown object: charge conservatively.
+    return 8
+
+
+class NodeContext:
+    """Per-node view of the network handed to node programs.
+
+    Provides the node id, its neighbourhood (with weights), its private RNG
+    stream, a local mutable state dict, and the ``send`` primitive.  Sends
+    to non-neighbours raise — the model only allows communication along
+    graph edges.
+    """
+
+    __slots__ = ("node_id", "neighbors", "edge_weights", "rng", "state", "_outbox", "_neighbor_set")
+
+    def __init__(
+        self,
+        node_id: int,
+        neighbors: np.ndarray,
+        edge_weights: np.ndarray,
+        rng: RandomState,
+    ) -> None:
+        self.node_id = node_id
+        self.neighbors = neighbors
+        self.edge_weights = edge_weights
+        self.rng = rng
+        self.state: Dict[str, Any] = {}
+        self._outbox: List[Tuple[int, Any]] = []
+        self._neighbor_set = set(int(x) for x in neighbors)
+
+    def send(self, target: int, payload: Any) -> None:
+        """Queue a message to neighbour ``target`` for delivery next round."""
+        if int(target) not in self._neighbor_set:
+            raise SimulationError(
+                f"node {self.node_id} attempted to send to non-neighbour {target}"
+            )
+        self._outbox.append((int(target), payload))
+
+    def broadcast(self, payload: Any) -> None:
+        """Queue the same message to every neighbour."""
+        for target in self._neighbor_set:
+            self._outbox.append((target, payload))
+
+    def drain_outbox(self) -> List[Tuple[int, Any]]:
+        outbox, self._outbox = self._outbox, []
+        return outbox
+
+
+class NodeProgram:
+    """Base class for synchronous per-node programs.
+
+    Subclasses override :meth:`initialize` and :meth:`step`.  The program
+    signals completion by returning ``True`` from :meth:`step`; the
+    simulator stops when every node has finished (or the round limit hits).
+    """
+
+    def initialize(self, ctx: NodeContext) -> None:
+        """Set up per-node state before round 1. Default: no-op."""
+
+    def step(self, ctx: NodeContext, round_number: int, inbox: List[Message]) -> bool:
+        """Execute one round; return True when this node is done."""
+        raise NotImplementedError
+
+    def finalize(self, ctx: NodeContext) -> Any:
+        """Produce this node's output after the simulation ends."""
+        return ctx.state
+
+
+@dataclass
+class SimulationResult:
+    """Output of a distributed simulation run."""
+
+    outputs: Dict[int, Any]
+    cost: DistributedCost
+    rounds_executed: int
+    completed: bool
+    messages_per_round: List[int] = field(default_factory=list)
+
+
+class DistributedSimulator:
+    """Synchronous round-based execution of a :class:`NodeProgram` on a graph.
+
+    Parameters
+    ----------
+    graph:
+        Communication topology; one simulated node per vertex.
+    seed:
+        Seed for the per-node RNG streams.
+    message_word_limit:
+        Maximum allowed payload size in words.  Defaults to
+        ``4 * ceil(log2 n) + 16`` which generously covers "a constant
+        number of vertex ids and weights" while still catching violations
+        of the O(log n) model restriction.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: SeedLike = None,
+        message_word_limit: Optional[int] = None,
+    ) -> None:
+        self.graph = graph
+        n = graph.num_vertices
+        if message_word_limit is None:
+            message_word_limit = 4 * int(np.ceil(np.log2(max(n, 2)))) + 16
+        self.message_word_limit = int(message_word_limit)
+        rngs = spawn_rngs(seed if seed is not None else 0, max(n, 1))
+        indptr, neighbors, weights, _ = graph.neighbor_lists()
+        self.contexts: List[NodeContext] = []
+        for node in range(n):
+            sl = slice(indptr[node], indptr[node + 1])
+            self.contexts.append(
+                NodeContext(
+                    node_id=node,
+                    neighbors=neighbors[sl].copy(),
+                    edge_weights=weights[sl].copy(),
+                    rng=rngs[node],
+                )
+            )
+        self._total_messages = 0
+        self._max_message_words = 0
+        self._rounds = 0
+        self._messages_per_round: List[int] = []
+
+    # ------------------------------------------------------------------ #
+
+    def run(
+        self,
+        program: NodeProgram,
+        max_rounds: int = 10_000,
+    ) -> SimulationResult:
+        """Run ``program`` on every node until all finish or ``max_rounds``."""
+        n = self.graph.num_vertices
+        for ctx in self.contexts:
+            program.initialize(ctx)
+        inboxes: List[List[Message]] = [[] for _ in range(n)]
+        done = np.zeros(n, dtype=bool)
+        completed = n == 0
+
+        round_number = 0
+        while not completed and round_number < max_rounds:
+            round_number += 1
+            outgoing: List[List[Message]] = [[] for _ in range(n)]
+            round_messages = 0
+            for node in range(n):
+                if done[node]:
+                    continue
+                ctx = self.contexts[node]
+                finished = program.step(ctx, round_number, inboxes[node])
+                inboxes[node] = []
+                for target, payload in ctx.drain_outbox():
+                    words = payload_words(payload)
+                    if words > self.message_word_limit:
+                        raise MessageTooLargeError(
+                            f"node {node} sent a {words}-word message "
+                            f"(limit {self.message_word_limit}) in round {round_number}"
+                        )
+                    self._max_message_words = max(self._max_message_words, words)
+                    outgoing[target].append(Message(sender=node, payload=payload))
+                    round_messages += 1
+                if finished:
+                    done[node] = True
+            inboxes = outgoing
+            self._total_messages += round_messages
+            self._messages_per_round.append(round_messages)
+            self._rounds = round_number
+            completed = bool(done.all())
+
+        outputs = {node: program.finalize(self.contexts[node]) for node in range(n)}
+        return SimulationResult(
+            outputs=outputs,
+            cost=self.cost,
+            rounds_executed=self._rounds,
+            completed=completed,
+            messages_per_round=list(self._messages_per_round),
+        )
+
+    @property
+    def cost(self) -> DistributedCost:
+        """Accumulated rounds / messages / max message size."""
+        return DistributedCost(
+            rounds=self._rounds,
+            messages=self._total_messages,
+            max_message_words=self._max_message_words,
+        )
+
+    def reset_counters(self) -> None:
+        self._total_messages = 0
+        self._max_message_words = 0
+        self._rounds = 0
+        self._messages_per_round = []

@@ -1,0 +1,71 @@
+"""Optional thread-pool execution of independent sub-tasks.
+
+The algorithms in this package are expressed as vectorised NumPy passes,
+so most of the heavy lifting already runs in optimised C.  A few stages are
+nevertheless embarrassingly parallel at the Python level — e.g. measuring
+quality on independent graphs in a parameter sweep, or running independent
+repetitions of a randomized algorithm.  :class:`ParallelExecutor` wraps
+``concurrent.futures.ThreadPoolExecutor`` with:
+
+* a sequential fallback (``max_workers=1`` or ``enabled=False``) so tests
+  and benches can force determinism,
+* ordered results (same order as the inputs),
+* exception propagation (the first failure re-raises in the caller).
+
+Threads (not processes) are used because the workloads release the GIL in
+NumPy/SciPy kernels and because the in-memory ``Graph`` objects would be
+expensive to pickle across process boundaries.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+__all__ = ["ParallelExecutor"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class ParallelExecutor:
+    """Map callables over inputs with an optional thread pool.
+
+    Parameters
+    ----------
+    max_workers:
+        Number of worker threads; ``1`` (default) runs sequentially in the
+        calling thread which is the reproducible default.
+    enabled:
+        Master switch; ``False`` forces sequential execution regardless of
+        ``max_workers``.
+    """
+
+    def __init__(self, max_workers: int = 1, enabled: bool = True) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers
+        self.enabled = enabled
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.enabled and self.max_workers > 1
+
+    def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
+        """Apply ``func`` to every item, preserving input order."""
+        items = list(items)
+        if not items:
+            return []
+        if not self.is_parallel:
+            return [func(item) for item in items]
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = [pool.submit(func, item) for item in items]
+            return [future.result() for future in futures]
+
+    def starmap(self, func: Callable[..., R], argument_tuples: Sequence[tuple]) -> List[R]:
+        """Apply ``func(*args)`` to every argument tuple, preserving order."""
+        return self.map(lambda args: func(*args), list(argument_tuples))
+
+    def run_all(self, thunks: Sequence[Callable[[], R]]) -> List[R]:
+        """Run a list of zero-argument callables, preserving order."""
+        return self.map(lambda thunk: thunk(), list(thunks))

@@ -1,0 +1,43 @@
+"""Effective resistance machinery.
+
+The graph-as-resistor-network view is the analytical heart of the paper:
+Lemma 1 certifies upper bounds on ``w_e * R_e[G]`` (the *leverage score*
+of edge e) from a t-bundle spanner, and those bounds justify uniform
+sampling.  This subpackage provides
+
+* exact effective resistances (dense pseudoinverse or repeated CG solves),
+* Johnson–Lindenstrauss-sketched approximate resistances in the style of
+  Spielman–Srivastava (used by the baseline sparsifier),
+* stretch computations over paths, trees, and subgraphs, and the
+  spanner-certified resistance upper bounds of Lemma 1.
+"""
+
+from repro.resistance.exact import (
+    effective_resistance,
+    effective_resistances_all_edges,
+    effective_resistances_of_pairs,
+    leverage_scores,
+)
+from repro.resistance.approx import approximate_effective_resistances
+from repro.resistance.stretch import (
+    path_resistance,
+    stretch_of_edge_over_path,
+    stretch_over_subgraph,
+    stretches_over_tree,
+    bundle_leverage_bound,
+    parallel_paths_resistance,
+)
+
+__all__ = [
+    "effective_resistance",
+    "effective_resistances_all_edges",
+    "effective_resistances_of_pairs",
+    "leverage_scores",
+    "approximate_effective_resistances",
+    "path_resistance",
+    "stretch_of_edge_over_path",
+    "stretch_over_subgraph",
+    "stretches_over_tree",
+    "bundle_leverage_bound",
+    "parallel_paths_resistance",
+]

@@ -1,0 +1,87 @@
+"""Approximate effective resistances via Johnson–Lindenstrauss sketching.
+
+This is the Spielman–Srivastava construction: effective resistances are
+pairwise squared distances between the columns of ``W^{1/2} B L^+``, so
+projecting onto ``O(log n / delta^2)`` random directions preserves them to
+a ``(1 ± delta)`` factor.  Each random direction costs one Laplacian solve,
+performed here with conjugate gradient.
+
+The baseline sparsifier (:mod:`repro.baselines.spielman_srivastava`) uses
+this routine; the paper's own algorithm never needs it — that is its point.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.linalg.cg import laplacian_solve
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["approximate_effective_resistances"]
+
+
+def approximate_effective_resistances(
+    graph: Graph,
+    delta: float = 0.3,
+    num_directions: Optional[int] = None,
+    seed: SeedLike = None,
+    solver_tol: float = 1e-8,
+) -> np.ndarray:
+    """Approximate ``R_e[G]`` for every edge via JL sketching.
+
+    Parameters
+    ----------
+    graph:
+        Connected weighted graph.
+    delta:
+        Target relative accuracy of the JL embedding; the number of random
+        projections is ``ceil(24 ln n / delta^2)`` unless overridden.
+    num_directions:
+        Explicit number of random projections (overrides ``delta``).
+    seed:
+        RNG seed.
+    solver_tol:
+        Relative tolerance of the inner Laplacian solves.
+
+    Returns
+    -------
+    numpy.ndarray
+        Approximate effective resistances aligned with the edge arrays.
+    """
+    if graph.num_edges == 0:
+        return np.zeros(0)
+    if not 0 < delta < 1:
+        raise GraphError(f"delta must lie in (0, 1), got {delta}")
+    rng = as_rng(seed)
+    n = graph.num_vertices
+    m = graph.num_edges
+    if num_directions is None:
+        num_directions = int(np.ceil(24.0 * np.log(max(n, 2)) / (delta * delta)))
+        # Cap at m: more directions than edges is wasted effort at this scale.
+        num_directions = max(1, min(num_directions, max(m, 1)))
+
+    lap = graph.laplacian()
+    sqrt_w = np.sqrt(graph.edge_weights)
+    u = graph.edge_u
+    v = graph.edge_v
+
+    # Accumulate squared distances ||Q W^{1/2} B L^+ (e_u - e_v)||^2 where Q
+    # has +-1/sqrt(k) entries.  Each row of Q W^{1/2} B is a vector in R^n
+    # assembled edge-wise; each needs one Laplacian solve.
+    scale = 1.0 / np.sqrt(num_directions)
+    resistance_estimate = np.zeros(m)
+    for _ in range(num_directions):
+        signs = rng.choice(np.array([-1.0, 1.0]), size=m) * scale
+        # y = B^T W^{1/2} q  (n-vector): scatter signed contributions.
+        y = np.zeros(n)
+        contrib = signs * sqrt_w
+        np.add.at(y, u, contrib)
+        np.add.at(y, v, -contrib)
+        z = laplacian_solve(lap, y, tol=solver_tol).x
+        diff = z[u] - z[v]
+        resistance_estimate += diff * diff
+    return resistance_estimate

@@ -1,0 +1,138 @@
+"""Exact effective resistance computations.
+
+The effective resistance between vertices ``u`` and ``v`` in graph ``G``
+is ``R_uv[G] = (e_u - e_v)^T L_G^+ (e_u - e_v)`` — the potential difference
+needed to push one unit of current from ``u`` to ``v`` when each edge ``e``
+is a resistor of resistance ``1 / w_e``.
+
+Two exact paths are provided:
+
+* **Pseudoinverse path** (default for small graphs): one dense ``L^+``,
+  then all resistances are read off with vectorised quadratic forms.
+* **Solver path**: one CG solve per requested pair, avoiding the dense
+  pseudoinverse; used when only a few pairs are needed on larger graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import DisconnectedGraphError, GraphError
+from repro.graphs.connectivity import connected_components
+from repro.graphs.graph import Graph
+from repro.linalg.cg import laplacian_solve
+from repro.linalg.pseudoinverse import laplacian_pseudoinverse
+
+__all__ = [
+    "effective_resistance",
+    "effective_resistances_of_pairs",
+    "effective_resistances_all_edges",
+    "leverage_scores",
+]
+
+_PINV_LIMIT = 2500
+
+
+def _check_same_component(graph: Graph, pairs_u: np.ndarray, pairs_v: np.ndarray) -> None:
+    labels = connected_components(graph)
+    if np.any(labels[pairs_u] != labels[pairs_v]):
+        raise DisconnectedGraphError(
+            "effective resistance requested between vertices in different components"
+        )
+
+
+def effective_resistances_of_pairs(
+    graph: Graph,
+    pairs: Sequence[Tuple[int, int]] | np.ndarray,
+    method: str = "auto",
+    tol: float = 1e-10,
+) -> np.ndarray:
+    """Effective resistances for an explicit list of vertex pairs.
+
+    Parameters
+    ----------
+    graph:
+        Input graph.
+    pairs:
+        Sequence of ``(u, v)`` vertex pairs (or an ``(k, 2)`` array).
+    method:
+        ``"pinv"``, ``"solve"``, or ``"auto"`` (pinv for small graphs,
+        CG solves otherwise).
+    tol:
+        Solver tolerance for the CG path.
+    """
+    pair_arr = np.asarray(pairs, dtype=np.int64)
+    if pair_arr.ndim != 2 or pair_arr.shape[1] != 2:
+        raise GraphError("pairs must be a sequence of (u, v) tuples")
+    if pair_arr.size == 0:
+        return np.zeros(0)
+    n = graph.num_vertices
+    if pair_arr.min() < 0 or pair_arr.max() >= n:
+        raise GraphError("pair indices out of range")
+    if np.any(pair_arr[:, 0] == pair_arr[:, 1]):
+        raise GraphError("effective resistance of a vertex with itself is zero/undefined; remove such pairs")
+    _check_same_component(graph, pair_arr[:, 0], pair_arr[:, 1])
+
+    if method == "auto":
+        method = "pinv" if n <= _PINV_LIMIT else "solve"
+    if method == "pinv":
+        pinv = laplacian_pseudoinverse(graph.laplacian())
+        uu = pair_arr[:, 0]
+        vv = pair_arr[:, 1]
+        return pinv[uu, uu] + pinv[vv, vv] - 2.0 * pinv[uu, vv]
+    if method == "solve":
+        lap = graph.laplacian()
+        results = np.empty(pair_arr.shape[0])
+        for i, (a, b) in enumerate(pair_arr):
+            rhs = np.zeros(n)
+            rhs[a] = 1.0
+            rhs[b] = -1.0
+            solution = laplacian_solve(lap, rhs, tol=tol).x
+            results[i] = float(solution[a] - solution[b])
+        return results
+    raise ValueError(f"unknown method {method!r}; expected 'pinv', 'solve', or 'auto'")
+
+
+def effective_resistance(
+    graph: Graph, u: int, v: int, method: str = "auto", tol: float = 1e-10
+) -> float:
+    """Effective resistance between a single pair of vertices."""
+    return float(
+        effective_resistances_of_pairs(graph, [(u, v)], method=method, tol=tol)[0]
+    )
+
+
+def effective_resistances_all_edges(
+    graph: Graph, method: str = "auto", tol: float = 1e-10
+) -> np.ndarray:
+    """Effective resistance ``R_e[G]`` of every edge of the graph.
+
+    Returns an array aligned with the graph's edge arrays.  The graph must
+    be connected within each edge's endpoints (always true for edges).
+    """
+    if graph.num_edges == 0:
+        return np.zeros(0)
+    n = graph.num_vertices
+    if method == "auto":
+        method = "pinv" if n <= _PINV_LIMIT else "solve"
+    if method == "pinv":
+        pinv = laplacian_pseudoinverse(graph.laplacian())
+        uu = graph.edge_u
+        vv = graph.edge_v
+        return pinv[uu, uu] + pinv[vv, vv] - 2.0 * pinv[uu, vv]
+    pairs = np.stack([graph.edge_u, graph.edge_v], axis=1)
+    return effective_resistances_of_pairs(graph, pairs, method=method, tol=tol)
+
+
+def leverage_scores(graph: Graph, method: str = "auto", tol: float = 1e-10) -> np.ndarray:
+    """Leverage scores ``tau_e = w_e * R_e[G]`` for every edge.
+
+    These lie in (0, 1]; they sum to ``n - c`` (number of vertices minus
+    number of components) and are exactly the sampling probabilities used
+    by Spielman–Srivastava.  Lemma 1 is a uniform upper bound on the
+    leverage scores of edges outside a t-bundle spanner.
+    """
+    resistances = effective_resistances_all_edges(graph, method=method, tol=tol)
+    return graph.edge_weights * resistances

@@ -1,0 +1,87 @@
+"""Work accounting for the chain-based solver (the quantities in Theorem 6).
+
+Theorem 6 bounds the *total work* of the solver:
+``O~(m log^2 n + m' log^5 n log^5 kappa)`` where ``m'`` is the
+applicability threshold.  The measurable ingredients on a concrete input
+are
+
+* the chain's total number of non-zeros (work per application of the
+  approximate inverse is proportional to it — Peng–Spielman Theorem 4.5),
+* the number of outer iterations (each costs one chain application plus
+  one matvec with the original matrix), and
+* the one-off construction work (dominated by the per-level sparsifier
+  calls, which the sparsifier itself accounts for in PRAM work units).
+
+:func:`chain_work_model` packages those numbers so the E7 benchmark can
+print the same "who does less work" comparison the paper argues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.linalg.cg import SolveResult
+from repro.solvers.chain import InverseChain
+
+__all__ = ["ChainWorkModel", "chain_work_model"]
+
+
+@dataclass(frozen=True)
+class ChainWorkModel:
+    """Work summary for a chain-preconditioned solve.
+
+    Attributes
+    ----------
+    chain_depth:
+        Number of levels ``d``.
+    chain_total_nnz:
+        Sum of non-zeros over all level matrices (= size of the
+        approximate inverse chain, the paper's key size quantity).
+    work_per_application:
+        Estimated arithmetic work of one application of the chain operator
+        (two matvecs with every level plus diagonal work).
+    outer_iterations:
+        Iterations of the outer (preconditioned) Krylov method.
+    solve_work:
+        Total estimated work of the solve phase:
+        ``outer_iterations * (work_per_application + nnz(M_1))``.
+    level_nnz:
+        Per-level non-zero counts, top to bottom.
+    """
+
+    chain_depth: int
+    chain_total_nnz: int
+    work_per_application: float
+    outer_iterations: int
+    solve_work: float
+    level_nnz: tuple
+
+    def summary(self) -> str:
+        """One-line human-readable summary used by examples and benchmarks."""
+        return (
+            f"chain depth {self.chain_depth}, total nnz {self.chain_total_nnz}, "
+            f"{self.outer_iterations} outer iterations, "
+            f"solve work ~{self.solve_work:.3e} ops"
+        )
+
+
+def chain_work_model(
+    chain: InverseChain, solve_result: Optional[SolveResult] = None
+) -> ChainWorkModel:
+    """Build a :class:`ChainWorkModel` from a chain and (optionally) a solve result."""
+    level_nnz = tuple(level.nnz for level in chain.levels)
+    # Each application performs, per level, two sparse matvecs with A_i and
+    # O(n_i) diagonal/axpy work; the last level adds the smoothing sweeps.
+    work_per_application = float(sum(2 * nnz for nnz in level_nnz))
+    outer = solve_result.iterations if solve_result is not None else 0
+    top_nnz = level_nnz[0] if level_nnz else 0
+    solve_work = outer * (work_per_application + top_nnz)
+    return ChainWorkModel(
+        chain_depth=chain.depth,
+        chain_total_nnz=chain.total_nnz,
+        work_per_application=work_per_application,
+        outer_iterations=outer,
+        solve_work=float(solve_work),
+        level_nnz=level_nnz,
+    )

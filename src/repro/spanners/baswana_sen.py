@@ -1,0 +1,301 @@
+"""Baswana–Sen randomized (2k-1)-spanner construction.
+
+This is the algorithm behind Theorem 1 of the paper (their adaptation of
+Baswana & Sen, Random Struct. Algorithms 2007, Theorem 5.4): a spanner of
+expected size ``O(k n^{1 + 1/k})`` computable with ``O(k m)`` work in
+polylogarithmic parallel time.  With ``k = ceil(log2 n)`` the spanner has
+expected ``O(n log n)`` edges and stretch ``2k - 1 <= 2 log2 n``, which is
+exactly the "log n-spanner" object the sparsifier needs.
+
+Two important adaptations for this package:
+
+* **Metric.**  The paper's stretch (Section 2) is *resistive*:
+  ``st_p(e) = w_e * sum_{e' in p} 1 / w_{e'}``.  A classical spanner with
+  multiplicative stretch ``s`` on edge lengths ``l_e = 1 / w_e`` gives
+  exactly ``st_H(e) <= s`` in the paper's sense, so the algorithm runs on
+  the lengths ``1 / w`` while the output subgraph keeps the original
+  weights.
+* **Cost accounting.**  The implementation is a sequence of vectorised
+  passes over the edge array; each pass charges the PRAM tracker with the
+  work/depth of the corresponding CRCW PRAM step (Corollary 2's
+  accounting), so benchmarks can report work and depth without a PRAM.
+
+The per-iteration clustering logic follows Baswana–Sen phase 1/phase 2:
+
+1. ``k - 1`` clustering iterations.  Clusters of the current clustering are
+   sampled with probability ``n^{-1/k}``; vertices of unsampled clusters
+   either join the nearest sampled neighbouring cluster (adding that
+   lightest edge) or, if none is adjacent, add one lightest edge per
+   neighbouring cluster and leave the clustering.  Edges that become
+   "covered" by these additions are discarded from the working edge set.
+2. Phase 2 joins every vertex to each cluster of the final clustering that
+   remains adjacent to it through one lightest edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.parallel.metrics import PRAMCost
+from repro.parallel.pram import PRAMTracker
+from repro.utils.rng import SeedLike, as_rng
+
+__all__ = ["SpannerResult", "baswana_sen_spanner"]
+
+
+@dataclass
+class SpannerResult:
+    """Output of a spanner construction.
+
+    Attributes
+    ----------
+    spanner:
+        The spanner subgraph (same vertex set, subset of the input edges,
+        original weights).
+    edge_indices:
+        Indices (into the input graph's edge arrays) of the edges chosen.
+    stretch_target:
+        The stretch ``2k - 1`` the construction aims for.
+    k:
+        The Baswana–Sen parameter used.
+    cost:
+        PRAM work/depth charged while building the spanner.
+    """
+
+    spanner: Graph
+    edge_indices: np.ndarray
+    stretch_target: float
+    k: int
+    cost: PRAMCost = field(default_factory=PRAMCost)
+
+
+def _lightest_per_group(
+    group_a: np.ndarray, group_b: np.ndarray, lengths: np.ndarray, payload: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """For each (a, b) group return the row of minimum length.
+
+    Returns arrays (a, b, min_length, payload_at_min) with one entry per
+    distinct (a, b) pair, sorted lexicographically by (a, b).
+    """
+    if group_a.size == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty, np.array([]), empty
+    order = np.lexsort((lengths, group_b, group_a))
+    a_sorted = group_a[order]
+    b_sorted = group_b[order]
+    first = np.concatenate(
+        [[True], (a_sorted[1:] != a_sorted[:-1]) | (b_sorted[1:] != b_sorted[:-1])]
+    )
+    sel = order[first]
+    return group_a[sel], group_b[sel], lengths[sel], payload[sel]
+
+
+def baswana_sen_spanner(
+    graph: Graph,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    tracker: Optional[PRAMTracker] = None,
+) -> SpannerResult:
+    """Compute a (2k-1)-spanner of ``graph`` in the resistive metric.
+
+    Parameters
+    ----------
+    graph:
+        Weighted input graph.  Parallel edges are allowed; each is treated
+        independently (only one of a parallel class can enter the spanner).
+    k:
+        Number of clustering levels; defaults to ``ceil(log2 n)`` which
+        yields the paper's log n-spanner with expected ``O(n log n)`` edges.
+    seed:
+        RNG seed controlling cluster sampling.
+    tracker:
+        Optional :class:`PRAMTracker` to charge; a fresh one is used (and
+        returned inside the result) if omitted.
+
+    Returns
+    -------
+    SpannerResult
+    """
+    n = graph.num_vertices
+    m = graph.num_edges
+    if k is None:
+        k = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    if k < 1:
+        raise GraphError(f"spanner parameter k must be >= 1, got {k}")
+    rng = as_rng(seed)
+    tracker = tracker if tracker is not None else PRAMTracker()
+
+    if m == 0 or n <= 1:
+        return SpannerResult(
+            spanner=Graph(n),
+            edge_indices=np.array([], dtype=np.int64),
+            stretch_target=float(2 * k - 1),
+            k=k,
+            cost=tracker.total,
+        )
+
+    # Working edge set E': arrays over remaining edges.
+    edge_u = graph.edge_u.copy()
+    edge_v = graph.edge_v.copy()
+    lengths = 1.0 / graph.edge_weights  # resistive metric
+    edge_idx = np.arange(m, dtype=np.int64)
+
+    # cluster[v] = centre vertex id, or -1 once v leaves the clustering.
+    cluster = np.arange(n, dtype=np.int64)
+    sample_probability = float(n) ** (-1.0 / k) if n > 1 else 1.0
+
+    chosen: List[np.ndarray] = []
+
+    for _iteration in range(k - 1):
+        if edge_idx.size == 0:
+            break
+        # --- sample clusters -------------------------------------------------
+        active_centers = np.unique(cluster[cluster >= 0])
+        sampled_flags = rng.random(active_centers.shape[0]) < sample_probability
+        center_sampled = np.zeros(n, dtype=bool)
+        center_sampled[active_centers[sampled_flags]] = True
+        # PRAM: each cluster flips a coin, each vertex reads its centre's coin.
+        tracker.charge_parallel_for(active_centers.shape[0], label="spanner/sample-clusters")
+        tracker.charge_parallel_for(n, label="spanner/propagate-sampling")
+
+        in_sampled = np.zeros(n, dtype=bool)
+        clustered = cluster >= 0
+        in_sampled[clustered] = center_sampled[cluster[clustered]]
+
+        # --- per (vertex, neighbouring cluster) lightest edges --------------
+        # Directed view: each remaining edge appears once per endpoint.
+        du = np.concatenate([edge_u, edge_v])
+        dv = np.concatenate([edge_v, edge_u])
+        dlen = np.concatenate([lengths, lengths])
+        didx = np.concatenate([edge_idx, edge_idx])
+        head_cluster = cluster[dv]
+        valid = head_cluster >= 0
+        du, dv, dlen, didx, head_cluster = (
+            du[valid], dv[valid], dlen[valid], didx[valid], head_cluster[valid]
+        )
+        # Only vertices outside sampled clusters act this iteration.
+        acting = ~in_sampled[du]
+        du, dv, dlen, didx, head_cluster = (
+            du[acting], dv[acting], dlen[acting], didx[acting], head_cluster[acting]
+        )
+        tracker.charge_parallel_for(2 * edge_idx.size, label="spanner/scan-edges")
+
+        if du.size == 0:
+            # Nothing to do; clustering simply persists for sampled clusters.
+            cluster = np.where(in_sampled, cluster, -1)
+            continue
+
+        grp_v, grp_c, grp_len, grp_edge = _lightest_per_group(du, head_cluster, dlen, didx)
+        # PRAM: grouping/minimum per (v, c) pair is a segmented reduction.
+        tracker.charge_reduction(du.size, label="spanner/group-min")
+
+        # --- per-vertex decisions -------------------------------------------
+        new_cluster = np.where(in_sampled, cluster, -1)
+        removal_pairs_v: List[np.ndarray] = []
+        removal_pairs_c: List[np.ndarray] = []
+        iteration_edges: List[np.ndarray] = []
+
+        boundaries = np.concatenate(
+            [[0], np.flatnonzero(grp_v[1:] != grp_v[:-1]) + 1, [grp_v.size]]
+        )
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            vertex = int(grp_v[start])
+            clusters_here = grp_c[start:stop]
+            lens_here = grp_len[start:stop]
+            edges_here = grp_edge[start:stop]
+            sampled_mask = center_sampled[clusters_here]
+            if not sampled_mask.any():
+                # Case (a): no adjacent sampled cluster.  Add the lightest
+                # edge to every adjacent cluster, drop all edges to them,
+                # and leave the clustering.
+                iteration_edges.append(edges_here)
+                removal_pairs_v.append(np.full(clusters_here.shape[0], vertex, dtype=np.int64))
+                removal_pairs_c.append(clusters_here)
+                new_cluster[vertex] = -1
+            else:
+                # Case (b): join the sampled cluster with the lightest edge.
+                sampled_positions = np.flatnonzero(sampled_mask)
+                best_pos = sampled_positions[np.argmin(lens_here[sampled_positions])]
+                best_len = lens_here[best_pos]
+                target_center = int(clusters_here[best_pos])
+                new_cluster[vertex] = target_center
+                # Lighter neighbouring clusters also contribute one edge each.
+                lighter = lens_here < best_len
+                keep_positions = np.flatnonzero(lighter)
+                keep_positions = np.concatenate([keep_positions, [best_pos]])
+                iteration_edges.append(edges_here[keep_positions])
+                drop_clusters = np.concatenate([clusters_here[lighter], [target_center]])
+                removal_pairs_v.append(np.full(drop_clusters.shape[0], vertex, dtype=np.int64))
+                removal_pairs_c.append(drop_clusters.astype(np.int64))
+        # PRAM: decisions are per-vertex constant-depth selections (with a
+        # log-depth min over the vertex's adjacent clusters).
+        tracker.charge_reduction(grp_v.size, label="spanner/vertex-decisions")
+
+        if iteration_edges:
+            chosen.append(np.concatenate(iteration_edges))
+
+        # --- remove covered edges -------------------------------------------
+        # An edge (x, y) is removed if the pair (x, cluster_old(y)) or
+        # (y, cluster_old(x)) was scheduled for removal, or if both endpoints
+        # now share a cluster (it is covered inside that cluster).
+        if removal_pairs_v:
+            rem_v = np.concatenate(removal_pairs_v)
+            rem_c = np.concatenate(removal_pairs_c)
+            removal_keys = np.unique(rem_v * np.int64(n) + rem_c)
+        else:
+            removal_keys = np.array([], dtype=np.int64)
+
+        old_cluster_u = cluster[edge_u]
+        old_cluster_v = cluster[edge_v]
+        key_uv = np.where(
+            old_cluster_v >= 0, edge_u * np.int64(n) + old_cluster_v, np.int64(-1)
+        )
+        key_vu = np.where(
+            old_cluster_u >= 0, edge_v * np.int64(n) + old_cluster_u, np.int64(-1)
+        )
+        removed = np.isin(key_uv, removal_keys) | np.isin(key_vu, removal_keys)
+        same_new_cluster = (
+            (new_cluster[edge_u] >= 0) & (new_cluster[edge_u] == new_cluster[edge_v])
+        )
+        keep = ~(removed | same_new_cluster)
+        tracker.charge_parallel_for(edge_idx.size, label="spanner/remove-covered")
+
+        edge_u, edge_v, lengths, edge_idx = (
+            edge_u[keep], edge_v[keep], lengths[keep], edge_idx[keep]
+        )
+        cluster = new_cluster
+
+    # ------------------------------------------------------------------ #
+    # Phase 2: vertex-cluster joining on the final clustering.
+    # ------------------------------------------------------------------ #
+    if edge_idx.size:
+        du = np.concatenate([edge_u, edge_v])
+        dv = np.concatenate([edge_v, edge_u])
+        dlen = np.concatenate([lengths, lengths])
+        didx = np.concatenate([edge_idx, edge_idx])
+        head_cluster = cluster[dv]
+        valid = head_cluster >= 0
+        du, dlen, didx, head_cluster = du[valid], dlen[valid], didx[valid], head_cluster[valid]
+        if du.size:
+            _, _, _, phase2_edges = _lightest_per_group(du, head_cluster, dlen, didx)
+            chosen.append(phase2_edges)
+        tracker.charge_reduction(max(du.size, 1), label="spanner/phase2")
+
+    if chosen:
+        selected = np.unique(np.concatenate(chosen))
+    else:
+        selected = np.array([], dtype=np.int64)
+
+    spanner = graph.select_edges(selected)
+    return SpannerResult(
+        spanner=spanner,
+        edge_indices=selected,
+        stretch_target=float(2 * k - 1),
+        k=k,
+        cost=tracker.total,
+    )

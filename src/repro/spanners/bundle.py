@@ -1,0 +1,179 @@
+"""t-bundle spanner construction (Definition 1, Corollaries 2–3).
+
+A *t-bundle spanner* of ``G`` is ``H = H_1 + ... + H_t`` where ``H_i`` is a
+spanner of ``G - (H_1 + ... + H_{i-1})``: each successive spanner is
+computed on the graph with the previous spanners' edges peeled off, so the
+components are edge-disjoint.  Section 3.1 of the paper notes that the
+construction is "the obvious iterative one": edges already in the bundle
+simply declare themselves out of the next spanner computation, so each of
+the ``t`` iterations costs one spanner construction on the remaining
+edges.
+
+The key consequence (Lemma 1 / Corollary 1): every edge of ``G`` outside
+the bundle has ``t`` edge-disjoint certified short paths, hence leverage
+score at most ``~log n / t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.parallel.metrics import PRAMCost
+from repro.parallel.pram import PRAMTracker
+from repro.spanners.baswana_sen import SpannerResult, baswana_sen_spanner
+from repro.utils.rng import SeedLike, as_rng, split_rng
+
+__all__ = ["BundleResult", "t_bundle_spanner", "bundle_size_for_epsilon", "bundle_for_epsilon"]
+
+
+@dataclass
+class BundleResult:
+    """Output of a t-bundle construction.
+
+    Attributes
+    ----------
+    bundle:
+        The union ``H_1 + ... + H_t`` as a subgraph of the input.
+    edge_indices:
+        Sorted indices (into the input graph) of all bundle edges.
+    component_edge_indices:
+        Per-component index arrays ``[indices of H_1, ..., indices of H_t]``.
+    t:
+        Number of bundle components actually built (may be smaller than
+        requested if the graph ran out of edges first).
+    requested_t:
+        The ``t`` that was asked for.
+    exhausted:
+        True if the bundle absorbed every edge of the graph (the remaining
+        graph is empty, so sampling has nothing left to do).
+    cost:
+        Total PRAM work/depth of all component spanner constructions.
+    """
+
+    bundle: Graph
+    edge_indices: np.ndarray
+    component_edge_indices: List[np.ndarray]
+    t: int
+    requested_t: int
+    exhausted: bool
+    cost: PRAMCost = field(default_factory=PRAMCost)
+
+    @property
+    def num_edges(self) -> int:
+        return int(self.edge_indices.shape[0])
+
+
+def bundle_size_for_epsilon(num_vertices: int, epsilon: float, constant: float = 24.0) -> int:
+    """The bundle size ``t = constant * log2(n)^2 / epsilon^2`` used by Algorithm 1.
+
+    The paper's PARALLELSAMPLE uses ``24 log^2 n / eps^2``; the constant is
+    exposed so the "practical" configuration can scale it down (see
+    :class:`repro.core.config.SparsifierConfig`).
+    """
+    if epsilon <= 0:
+        raise GraphError(f"epsilon must be positive, got {epsilon}")
+    log_n = np.log2(max(num_vertices, 2))
+    return max(1, int(np.ceil(constant * log_n * log_n / (epsilon * epsilon))))
+
+
+def t_bundle_spanner(
+    graph: Graph,
+    t: int,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    tracker: Optional[PRAMTracker] = None,
+    stop_when_exhausted: bool = True,
+) -> BundleResult:
+    """Build a t-bundle spanner of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input weighted graph.
+    t:
+        Number of edge-disjoint spanner components requested.
+    k:
+        Baswana–Sen parameter for each component (default ``ceil(log2 n)``).
+    seed:
+        RNG seed; component constructions receive independent sub-streams.
+    tracker:
+        Optional shared PRAM tracker.
+    stop_when_exhausted:
+        Stop early once every edge of the graph has been absorbed into the
+        bundle (the remaining graph is empty).  This is the behaviour the
+        sparsifier wants: a bundle that already contains all of ``G``
+        certifies nothing more by adding empty components.
+
+    Returns
+    -------
+    BundleResult
+    """
+    if t < 1:
+        raise GraphError(f"bundle size t must be >= 1, got {t}")
+    tracker = tracker if tracker is not None else PRAMTracker()
+    rng = as_rng(seed)
+    component_rngs = split_rng(rng, t)
+
+    remaining = graph
+    # Map from "remaining graph" edge positions to original edge indices.
+    remaining_to_original = np.arange(graph.num_edges, dtype=np.int64)
+    component_indices: List[np.ndarray] = []
+    built = 0
+    exhausted = False
+
+    for i in range(t):
+        if remaining.num_edges == 0:
+            exhausted = True
+            if stop_when_exhausted:
+                break
+            component_indices.append(np.array([], dtype=np.int64))
+            built += 1
+            continue
+        result: SpannerResult = baswana_sen_spanner(
+            remaining, k=k, seed=component_rngs[i], tracker=tracker
+        )
+        original_ids = remaining_to_original[result.edge_indices]
+        component_indices.append(np.sort(original_ids))
+        built += 1
+        # Peel the spanner's edges off the remaining graph.
+        keep_mask = np.ones(remaining.num_edges, dtype=bool)
+        keep_mask[result.edge_indices] = False
+        remaining = remaining.select_edges(keep_mask)
+        remaining_to_original = remaining_to_original[keep_mask]
+        tracker.charge_parallel_for(keep_mask.shape[0], label="bundle/peel-edges")
+
+    if remaining.num_edges == 0:
+        exhausted = True
+
+    if component_indices:
+        all_indices = np.unique(np.concatenate(component_indices))
+    else:
+        all_indices = np.array([], dtype=np.int64)
+    bundle = graph.select_edges(all_indices)
+    return BundleResult(
+        bundle=bundle,
+        edge_indices=all_indices,
+        component_edge_indices=component_indices,
+        t=built,
+        requested_t=t,
+        exhausted=exhausted,
+        cost=tracker.total,
+    )
+
+
+def bundle_for_epsilon(
+    graph: Graph,
+    epsilon: float,
+    constant: float = 24.0,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    tracker: Optional[PRAMTracker] = None,
+) -> BundleResult:
+    """Bundle with the Algorithm-1 size ``t = constant * log^2 n / epsilon^2``."""
+    t = bundle_size_for_epsilon(graph.num_vertices, epsilon, constant=constant)
+    return t_bundle_spanner(graph, t=t, k=k, seed=seed, tracker=tracker)

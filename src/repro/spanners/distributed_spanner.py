@@ -1,0 +1,326 @@
+"""Baswana–Sen spanner as a synchronous distributed (CONGEST) protocol.
+
+This is the object behind Theorem 2 of the paper: a log n-spanner computed
+in the synchronous distributed model in ``O(log^2 n)`` rounds with
+``O(m log n)`` communication and ``O(log n)``-sized messages.  The
+implementation runs on :class:`repro.parallel.distributed.DistributedSimulator`,
+so rounds, message counts and message sizes are *measured*, not assumed.
+
+Protocol outline (per clustering iteration ``i`` of ``k - 1``):
+
+1. **Flood phase** (``i + 1`` rounds): each cluster centre samples its
+   cluster with probability ``n^{-1/k}`` and floods ``(centre, sampled)``
+   through the cluster; every clustered node forwards the tuple to *all*
+   its neighbours exactly once, so by the end of the phase every node also
+   knows the cluster and sampled status of each clustered neighbour.
+2. **Decision round** (1 round): nodes outside sampled clusters apply the
+   Baswana–Sen rule locally (join the nearest sampled cluster / connect to
+   every lighter neighbouring cluster / leave the clustering), record the
+   chosen spanner edges, and notify neighbours whose connecting edges are
+   now covered so both endpoints mark them dead.
+
+After the iterations, a final exchange + decision (2 rounds) implements
+phase 2: every node keeps one lightest live edge per adjacent cluster of
+the final clustering.
+
+The per-node program identifies edges by endpoint pairs, so the input is
+coalesced to a simple graph first; the result records both the coalesced
+graph and the selected edge indices into it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.parallel.distributed import (
+    DistributedSimulator,
+    Message,
+    NodeContext,
+    NodeProgram,
+)
+from repro.parallel.metrics import DistributedCost
+from repro.utils.rng import SeedLike
+
+__all__ = ["DistributedSpannerResult", "distributed_baswana_sen_spanner"]
+
+
+@dataclass
+class DistributedSpannerResult:
+    """Outcome of the distributed spanner protocol.
+
+    Attributes
+    ----------
+    spanner:
+        The spanner as a subgraph of the coalesced input graph.
+    edge_indices:
+        Indices of the chosen edges in ``simple_graph``.
+    simple_graph:
+        The coalesced (simple) version of the input the protocol ran on.
+    stretch_target:
+        ``2k - 1`` for the ``k`` used.
+    k:
+        Number of clustering levels.
+    cost:
+        Rounds / messages / max message size measured by the simulator.
+    completed:
+        Whether every node terminated within the round limit.
+    """
+
+    spanner: Graph
+    edge_indices: np.ndarray
+    simple_graph: Graph
+    stretch_target: float
+    k: int
+    cost: DistributedCost
+    completed: bool
+
+
+def _build_schedule(k: int) -> List[Tuple[str, int]]:
+    """Per-round phase labels: ('flood', iteration) / ('decide', iteration) / final phases."""
+    schedule: List[Tuple[str, int]] = []
+    for iteration in range(1, k):
+        schedule.extend([("flood", iteration)] * (iteration + 1))
+        schedule.append(("decide", iteration))
+    schedule.append(("final_exchange", k))
+    schedule.append(("final_decide", k))
+    return schedule
+
+
+class _BaswanaSenProgram(NodeProgram):
+    """Per-node program implementing the protocol described in the module docstring."""
+
+    def __init__(self, num_vertices: int, k: int) -> None:
+        self.n = num_vertices
+        self.k = k
+        self.sample_probability = float(num_vertices) ** (-1.0 / k) if num_vertices > 1 else 1.0
+        self.schedule = _build_schedule(k)
+
+    # -------------------------------------------------------------- #
+
+    def initialize(self, ctx: NodeContext) -> None:
+        state = ctx.state
+        state["center"] = ctx.node_id          # current cluster centre (-1 = unclustered)
+        state["sampled"] = False               # is my cluster sampled this iteration
+        state["informed"] = False              # have I learnt my cluster's bit this iteration
+        state["pending_broadcast"] = False     # should I forward the flood tuple this round
+        state["alive"] = np.ones(ctx.neighbors.shape[0], dtype=bool)
+        state["neighbor_cluster"] = {}         # neighbour id -> (centre, sampled)
+        state["spanner_pairs"] = set()         # frozenset-ish {(lo, hi), ...}
+        state["lengths"] = 1.0 / ctx.edge_weights
+        # Position of each neighbour id in the incident arrays (simple graph
+        # guarantees unique neighbour ids).
+        state["neighbor_pos"] = {int(nbr): pos for pos, nbr in enumerate(ctx.neighbors)}
+
+    # -------------------------------------------------------------- #
+
+    def _process_control_messages(self, ctx: NodeContext, inbox: List[Message]) -> List[Message]:
+        """Handle edge-removal notifications; return the remaining messages."""
+        state = ctx.state
+        rest: List[Message] = []
+        for msg in inbox:
+            payload = msg.payload
+            if isinstance(payload, tuple) and payload and payload[0] == "R":
+                pos = state["neighbor_pos"].get(msg.sender)
+                if pos is not None:
+                    state["alive"][pos] = False
+            else:
+                rest.append(msg)
+        return rest
+
+    def _record_spanner_edge(self, ctx: NodeContext, neighbor: int) -> None:
+        a, b = ctx.node_id, int(neighbor)
+        ctx.state["spanner_pairs"].add((min(a, b), max(a, b)))
+
+    # -------------------------------------------------------------- #
+
+    def step(self, ctx: NodeContext, round_number: int, inbox: List[Message]) -> bool:
+        state = ctx.state
+        if round_number > len(self.schedule):
+            return True
+        phase, iteration = self.schedule[round_number - 1]
+        inbox = self._process_control_messages(ctx, inbox)
+
+        if phase == "flood":
+            is_first_flood_round = round_number == 1 or self.schedule[round_number - 2][0] != "flood"
+            if is_first_flood_round:
+                # New iteration: reset per-iteration flags; centres sample.
+                state["informed"] = False
+                state["sampled"] = False
+                state["pending_broadcast"] = False
+                state["neighbor_cluster"] = {}
+                if state["center"] == ctx.node_id:
+                    state["sampled"] = bool(ctx.rng.random() < self.sample_probability)
+                    state["informed"] = True
+                    state["pending_broadcast"] = True
+            # Learn from incoming flood tuples.
+            for msg in inbox:
+                payload = msg.payload
+                if isinstance(payload, tuple) and payload and payload[0] == "F":
+                    _, center, sampled = payload
+                    state["neighbor_cluster"][msg.sender] = (int(center), bool(sampled))
+                    if not state["informed"] and int(center) == state["center"] and state["center"] >= 0:
+                        state["informed"] = True
+                        state["sampled"] = bool(sampled)
+                        state["pending_broadcast"] = True
+            if state["pending_broadcast"]:
+                ctx.broadcast(("F", int(state["center"]), bool(state["sampled"])))
+                state["pending_broadcast"] = False
+            return False
+
+        if phase == "decide":
+            # Late flood arrivals may still be in the inbox.
+            for msg in inbox:
+                payload = msg.payload
+                if isinstance(payload, tuple) and payload and payload[0] == "F":
+                    _, center, sampled = payload
+                    state["neighbor_cluster"][msg.sender] = (int(center), bool(sampled))
+                    if not state["informed"] and int(center) == state["center"] and state["center"] >= 0:
+                        state["informed"] = True
+                        state["sampled"] = bool(sampled)
+            in_sampled_cluster = state["center"] >= 0 and state["sampled"]
+            if not in_sampled_cluster:
+                self._decide(ctx, iteration)
+            return False
+
+        if phase == "final_exchange":
+            state["neighbor_cluster"] = {}
+            if state["center"] >= 0:
+                ctx.broadcast(("F", int(state["center"]), False))
+            return False
+
+        if phase == "final_decide":
+            for msg in inbox:
+                payload = msg.payload
+                if isinstance(payload, tuple) and payload and payload[0] == "F":
+                    state["neighbor_cluster"][msg.sender] = (int(payload[1]), bool(payload[2]))
+            self._final_decide(ctx)
+            return True
+
+        raise GraphError(f"unknown protocol phase {phase!r}")  # pragma: no cover
+
+    # -------------------------------------------------------------- #
+
+    def _adjacent_cluster_minima(self, ctx: NodeContext) -> Dict[int, Tuple[float, int]]:
+        """Per adjacent cluster: (lightest live edge length, neighbour id)."""
+        state = ctx.state
+        minima: Dict[int, Tuple[float, int]] = {}
+        alive = state["alive"]
+        lengths = state["lengths"]
+        for pos, nbr in enumerate(ctx.neighbors):
+            if not alive[pos]:
+                continue
+            info = state["neighbor_cluster"].get(int(nbr))
+            if info is None:
+                continue
+            center, _sampled = info
+            length = float(lengths[pos])
+            best = minima.get(center)
+            if best is None or length < best[0]:
+                minima[center] = (length, int(nbr))
+        return minima
+
+    def _kill_edges_to_cluster(self, ctx: NodeContext, center: int) -> None:
+        state = ctx.state
+        alive = state["alive"]
+        for pos, nbr in enumerate(ctx.neighbors):
+            if not alive[pos]:
+                continue
+            info = state["neighbor_cluster"].get(int(nbr))
+            if info is not None and info[0] == center:
+                alive[pos] = False
+                ctx.send(int(nbr), ("R",))
+
+    def _decide(self, ctx: NodeContext, iteration: int) -> None:
+        state = ctx.state
+        minima = self._adjacent_cluster_minima(ctx)
+        if not minima:
+            return
+        sampled_clusters = {
+            center: value
+            for center, value in minima.items()
+            if state["neighbor_cluster"][value[1]][1]
+        }
+        if not sampled_clusters:
+            # Case (a): connect once to every adjacent cluster and leave.
+            for center, (_, nbr) in minima.items():
+                self._record_spanner_edge(ctx, nbr)
+                self._kill_edges_to_cluster(ctx, center)
+            state["center"] = -1
+        else:
+            # Case (b): join the nearest sampled cluster.
+            target_center, (target_len, target_nbr) = min(
+                sampled_clusters.items(), key=lambda item: item[1][0]
+            )
+            self._record_spanner_edge(ctx, target_nbr)
+            state["center"] = int(target_center)
+            for center, (length, nbr) in minima.items():
+                if center == target_center:
+                    continue
+                if length < target_len:
+                    self._record_spanner_edge(ctx, nbr)
+                    self._kill_edges_to_cluster(ctx, center)
+            self._kill_edges_to_cluster(ctx, target_center)
+
+    def _final_decide(self, ctx: NodeContext) -> None:
+        minima = self._adjacent_cluster_minima(ctx)
+        for _center, (_, nbr) in minima.items():
+            self._record_spanner_edge(ctx, nbr)
+
+    def finalize(self, ctx: NodeContext) -> Set[Tuple[int, int]]:
+        return set(ctx.state["spanner_pairs"])
+
+
+def distributed_baswana_sen_spanner(
+    graph: Graph,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    max_rounds: Optional[int] = None,
+) -> DistributedSpannerResult:
+    """Run the distributed Baswana–Sen protocol and collect the spanner.
+
+    Parameters
+    ----------
+    graph:
+        Input graph; parallel edges are coalesced before the protocol runs
+        (the protocol identifies edges by endpoint pairs).
+    k:
+        Number of clustering levels; defaults to ``ceil(log2 n)``.
+    seed:
+        Simulator seed (drives every node's private RNG stream).
+    max_rounds:
+        Safety cap on rounds; defaults to a generous multiple of the
+        schedule length.
+    """
+    simple = graph.coalesce()
+    n = simple.num_vertices
+    if k is None:
+        k = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    program = _BaswanaSenProgram(n, k)
+    schedule_length = len(program.schedule)
+    simulator = DistributedSimulator(simple, seed=seed)
+    result = simulator.run(program, max_rounds=max_rounds or (schedule_length + 4))
+
+    pairs: Set[Tuple[int, int]] = set()
+    for node_pairs in result.outputs.values():
+        pairs.update(node_pairs)
+    if pairs:
+        pair_array = np.asarray(sorted(pairs), dtype=np.int64)
+        wanted_keys = pair_array[:, 0] * np.int64(n) + pair_array[:, 1]
+        edge_indices = np.flatnonzero(np.isin(simple.edge_keys(), wanted_keys))
+    else:
+        edge_indices = np.array([], dtype=np.int64)
+
+    return DistributedSpannerResult(
+        spanner=simple.select_edges(edge_indices),
+        edge_indices=edge_indices,
+        simple_graph=simple,
+        stretch_target=float(2 * k - 1),
+        k=k,
+        cost=result.cost,
+        completed=result.completed,
+    )

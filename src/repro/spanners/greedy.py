@@ -1,0 +1,99 @@
+"""Greedy (2k-1)-spanner — deterministic baseline and test oracle.
+
+The classical greedy spanner (Althöfer et al.): scan edges in
+non-decreasing length and add an edge only if the current spanner does not
+already provide a path of length at most ``(2k-1)`` times the edge's
+length.  It is slower than Baswana–Sen (it needs a shortest-path query per
+edge) and inherently sequential, but it is deterministic, its stretch
+guarantee is immediate from the construction, and its size is within the
+same ``O(n^{1+1/k})`` bound — which makes it the natural cross-check for
+the randomized construction in tests and the sequential comparison point
+in benchmarks.
+
+As everywhere in this package, the metric is resistive (lengths ``1/w``),
+so the output certifies the paper's stretch ``st_H(e) <= 2k - 1``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.spanners.baswana_sen import SpannerResult
+
+__all__ = ["greedy_spanner"]
+
+
+def _bounded_dijkstra(
+    adjacency: List[List[tuple]],
+    source: int,
+    target: int,
+    bound: float,
+) -> float:
+    """Shortest resistive distance from source to target, pruned at ``bound``.
+
+    Returns ``inf`` if the distance exceeds the bound.  The adjacency is a
+    list of ``(neighbor, length)`` lists over the *current* spanner edges.
+    """
+    dist = {source: 0.0}
+    heap = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node == target:
+            return d
+        if d > dist.get(node, np.inf) or d > bound:
+            continue
+        for neighbor, length in adjacency[node]:
+            nd = d + length
+            if nd <= bound and nd < dist.get(neighbor, np.inf):
+                dist[neighbor] = nd
+                heapq.heappush(heap, (nd, neighbor))
+    return float(dist.get(target, np.inf))
+
+
+def greedy_spanner(graph: Graph, k: Optional[int] = None) -> SpannerResult:
+    """Greedy (2k-1)-spanner in the resistive metric.
+
+    Parameters
+    ----------
+    graph:
+        Weighted input graph (parallel edges allowed; duplicates are
+        naturally rejected by the stretch test).
+    k:
+        Stretch parameter; default ``ceil(log2 n)`` to match the
+        log n-spanner used by the sparsifier.
+    """
+    n = graph.num_vertices
+    if k is None:
+        k = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    if k < 1:
+        raise GraphError(f"spanner parameter k must be >= 1, got {k}")
+    stretch = float(2 * k - 1)
+
+    lengths = 1.0 / graph.edge_weights if graph.num_edges else np.zeros(0)
+    order = np.argsort(lengths, kind="stable")
+
+    adjacency: List[List[tuple]] = [[] for _ in range(n)]
+    chosen: List[int] = []
+    for edge_index in order:
+        a = int(graph.edge_u[edge_index])
+        b = int(graph.edge_v[edge_index])
+        length = float(lengths[edge_index])
+        bound = stretch * length
+        current = _bounded_dijkstra(adjacency, a, b, bound)
+        if current > bound:
+            chosen.append(int(edge_index))
+            adjacency[a].append((b, length))
+            adjacency[b].append((a, length))
+
+    selected = np.asarray(sorted(chosen), dtype=np.int64)
+    return SpannerResult(
+        spanner=graph.select_edges(selected),
+        edge_indices=selected,
+        stretch_target=stretch,
+        k=k,
+    )

@@ -1,0 +1,88 @@
+"""Spanner verification and repair.
+
+The sparsifier's correctness rests on the bundle actually certifying the
+stretch bound; since the Baswana–Sen construction is randomized (and its
+weighted-stretch proof subtle), this module provides
+
+* :func:`verify_spanner` / :func:`max_stretch_of_nonspanner_edges` —
+  measure the true stretch of every non-spanner edge over the spanner
+  (used by tests and by the benchmark that validates Lemma 1), and
+* :func:`repair_spanner` — a safety net that adds any edge violating the
+  stretch target directly to the spanner.  The repaired spanner trivially
+  satisfies the target; in practice the repair set is empty or tiny, and
+  the "certify" configuration of the sparsifier can turn this on to make
+  Lemma 1 hold unconditionally rather than with high probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.resistance.stretch import stretch_over_subgraph
+from repro.spanners.baswana_sen import SpannerResult
+
+__all__ = [
+    "max_stretch_of_nonspanner_edges",
+    "verify_spanner",
+    "repair_spanner",
+]
+
+
+def max_stretch_of_nonspanner_edges(
+    graph: Graph, spanner_edge_indices: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Maximum stretch over the spanner among edges outside it.
+
+    Returns ``(max_stretch, stretches)`` where ``stretches`` is aligned
+    with the non-spanner edge indices (in increasing index order).  If all
+    edges are in the spanner the maximum is 0.
+    """
+    spanner_edge_indices = np.asarray(spanner_edge_indices, dtype=np.int64)
+    mask = np.ones(graph.num_edges, dtype=bool)
+    mask[spanner_edge_indices] = False
+    outside = np.flatnonzero(mask)
+    if outside.size == 0:
+        return 0.0, np.zeros(0)
+    spanner = graph.select_edges(spanner_edge_indices)
+    stretches = stretch_over_subgraph(graph, spanner, outside)
+    return float(np.max(stretches)), stretches
+
+
+def verify_spanner(
+    graph: Graph,
+    result: SpannerResult,
+    stretch_target: Optional[float] = None,
+    slack: float = 1e-9,
+) -> bool:
+    """Check that every non-spanner edge has stretch within the target."""
+    target = stretch_target if stretch_target is not None else result.stretch_target
+    max_stretch, _ = max_stretch_of_nonspanner_edges(graph, result.edge_indices)
+    return max_stretch <= target * (1.0 + slack)
+
+
+def repair_spanner(
+    graph: Graph,
+    edge_indices: np.ndarray,
+    stretch_target: float,
+) -> np.ndarray:
+    """Add every stretch-violating edge to the spanner edge set.
+
+    Returns the (sorted, unique) repaired index set.  Adding a violating
+    edge makes its own stretch 1, so one pass suffices.
+    """
+    edge_indices = np.asarray(edge_indices, dtype=np.int64)
+    mask = np.ones(graph.num_edges, dtype=bool)
+    mask[edge_indices] = False
+    outside = np.flatnonzero(mask)
+    if outside.size == 0:
+        return np.unique(edge_indices)
+    spanner = graph.select_edges(edge_indices)
+    stretches = stretch_over_subgraph(graph, spanner, outside)
+    violators = outside[stretches > stretch_target]
+    if violators.size == 0:
+        return np.unique(edge_indices)
+    return np.unique(np.concatenate([edge_indices, violators]))

@@ -1,0 +1,48 @@
+"""Logging configuration for the package.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` to its own namespace so that applications embedding it stay
+in control of log output.  The example scripts call
+:func:`enable_console_logging` to get human-readable progress lines.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("spanners")`` returns the logger ``repro.spanners``.
+    """
+    if name is None or name == _PACKAGE_LOGGER_NAME:
+        logger = logging.getLogger(_PACKAGE_LOGGER_NAME)
+    elif name.startswith(_PACKAGE_LOGGER_NAME + "."):
+        logger = logging.getLogger(name)
+    else:
+        logger = logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+    return logger
+
+
+# Library default: stay silent unless the application configures logging.
+get_logger().addHandler(logging.NullHandler())
+
+
+def enable_console_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler to the package logger (used by examples)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    has_stream = any(
+        isinstance(handler, logging.StreamHandler)
+        and not isinstance(handler, logging.NullHandler)
+        for handler in logger.handlers
+    )
+    if not has_stream:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)

@@ -1,0 +1,72 @@
+"""Lightweight wall-clock timing helpers used by examples and benchmarks.
+
+Algorithmic cost in this package is primarily measured through the explicit
+work/depth and round/message counters in :mod:`repro.parallel`; wall-clock
+timing is secondary but convenient for the example scripts and for
+pytest-benchmark sanity numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass
+class Timer:
+    """Accumulating named timer.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer.section("spanner"):
+    ...     pass
+    >>> "spanner" in timer.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[name] = self.totals.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def mean(self, name: str) -> float:
+        """Mean elapsed seconds per invocation of section ``name``."""
+        if name not in self.totals:
+            raise KeyError(f"no timing section named {name!r}")
+        return self.totals[name] / max(self.counts[name], 1)
+
+    def summary(self) -> List[Tuple[str, float, int]]:
+        """Sections as (name, total_seconds, count), slowest first."""
+        rows = [(name, self.totals[name], self.counts[name]) for name in self.totals]
+        rows.sort(key=lambda row: row[1], reverse=True)
+        return rows
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+
+def timed(func: Callable[..., T]) -> Callable[..., Tuple[T, float]]:
+    """Decorator returning ``(result, elapsed_seconds)`` for ``func``."""
+
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    wrapper.__name__ = getattr(func, "__name__", "timed")
+    wrapper.__doc__ = func.__doc__
+    return wrapper

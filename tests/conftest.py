@@ -1,0 +1,63 @@
+"""Shared fixtures for the test suite.
+
+Graphs used across many test modules are built once per session (they are
+immutable, so sharing is safe).  Sizes are kept small enough that the exact
+(dense pseudoinverse / dense eigensolver) reference paths stay fast.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+
+
+@pytest.fixture(scope="session")
+def triangle_graph() -> Graph:
+    """Unweighted triangle: the smallest graph with a cycle."""
+    return Graph(3, [0, 1, 2], [1, 2, 0], [1.0, 1.0, 1.0])
+
+
+@pytest.fixture(scope="session")
+def weighted_path() -> Graph:
+    """Weighted path 0-1-2-3 with distinct weights."""
+    return Graph(4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 4.0])
+
+
+@pytest.fixture(scope="session")
+def small_er_graph() -> Graph:
+    """Connected Erdős–Rényi graph, 60 vertices."""
+    return generators.erdos_renyi_graph(60, 0.15, seed=11, ensure_connected=True)
+
+
+@pytest.fixture(scope="session")
+def medium_er_graph() -> Graph:
+    """Denser connected Erdős–Rényi graph, 120 vertices."""
+    return generators.erdos_renyi_graph(120, 0.2, seed=7, ensure_connected=True)
+
+
+@pytest.fixture(scope="session")
+def grid_graph_8x8() -> Graph:
+    """8x8 grid (structured sparse graph)."""
+    return generators.grid_graph(8, 8)
+
+
+@pytest.fixture(scope="session")
+def dumbbell() -> Graph:
+    """Two 12-cliques joined by a 3-edge path (high-leverage bridge edges)."""
+    return generators.dumbbell_graph(12, path_length=3)
+
+
+@pytest.fixture(scope="session")
+def weighted_er_graph() -> Graph:
+    """Connected ER graph with random weights in [0.5, 5]."""
+    return generators.erdos_renyi_graph(
+        80, 0.12, seed=23, weight_range=(0.5, 5.0), ensure_connected=True
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

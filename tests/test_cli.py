@@ -1,0 +1,102 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs import generators as gen
+from repro.graphs.io import read_edge_list, write_edge_list
+from repro.spanners.verification import max_stretch_of_nonspanner_edges
+from repro.graphs.operations import edge_membership_mask
+
+
+@pytest.fixture()
+def edge_list_file(tmp_path):
+    graph = gen.erdos_renyi_graph(80, 0.2, seed=5, ensure_connected=True)
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path, graph
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_sparsify_defaults(self):
+        args = build_parser().parse_args(["sparsify", "in.txt", "out.txt"])
+        assert args.epsilon == 0.5
+        assert args.rho == 4.0
+        assert args.mode == "practical"
+        assert not args.tree_bundle
+
+    def test_spanner_defaults(self):
+        args = build_parser().parse_args(["spanner", "in.txt", "out.txt"])
+        assert args.t == 1
+        assert args.k is None
+
+    def test_rejects_bad_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sparsify", "a", "b", "--mode", "heroic"])
+
+
+class TestSparsifyCommand:
+    def test_writes_sparsifier(self, edge_list_file, tmp_path, capsys):
+        in_path, graph = edge_list_file
+        out_path = tmp_path / "sparse.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--rho", "4", "--bundle-t", "1", "--seed", "3",
+        ])
+        assert code == 0
+        output = read_edge_list(out_path)
+        assert output.num_vertices == graph.num_vertices
+        assert 0 < output.num_edges <= graph.num_edges
+        captured = capsys.readouterr().out
+        assert "reduction" in captured
+
+    def test_certify_flag_prints_certificate(self, edge_list_file, tmp_path, capsys):
+        in_path, _ = edge_list_file
+        out_path = tmp_path / "sparse.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--bundle-t", "2", "--certify", "--seed", "1",
+        ])
+        assert code == 0
+        assert "certificate:" in capsys.readouterr().out
+
+    def test_tree_bundle_flag(self, edge_list_file, tmp_path):
+        in_path, graph = edge_list_file
+        out_path = tmp_path / "sparse_tree.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--bundle-t", "2", "--tree-bundle", "--seed", "1",
+        ])
+        assert code == 0
+        assert read_edge_list(out_path).num_edges <= graph.num_edges
+
+
+class TestSpannerCommand:
+    def test_single_spanner_has_valid_stretch(self, edge_list_file, tmp_path, capsys):
+        in_path, graph = edge_list_file
+        out_path = tmp_path / "spanner.txt"
+        code = main(["spanner", str(in_path), str(out_path), "--seed", "2"])
+        assert code == 0
+        spanner = read_edge_list(out_path)
+        assert spanner.num_edges <= graph.num_edges
+        # The written spanner is a subgraph with bounded stretch.
+        mask = edge_membership_mask(graph, spanner)
+        indices = np.flatnonzero(mask)
+        max_stretch, _ = max_stretch_of_nonspanner_edges(graph, indices)
+        assert max_stretch <= 2 * np.ceil(np.log2(graph.num_vertices)) - 1 + 1e-9
+        assert "spanner:" in capsys.readouterr().out
+
+    def test_bundle_output(self, edge_list_file, tmp_path, capsys):
+        in_path, graph = edge_list_file
+        out_path = tmp_path / "bundle.txt"
+        code = main(["spanner", str(in_path), str(out_path), "--t", "2", "--seed", "2"])
+        assert code == 0
+        bundle = read_edge_list(out_path)
+        single = read_edge_list(out_path)
+        assert bundle.num_edges <= graph.num_edges
+        assert "bundle" in capsys.readouterr().out

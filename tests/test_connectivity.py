@@ -1,0 +1,168 @@
+"""Tests for repro.graphs.connectivity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs import generators as gen
+from repro.graphs.connectivity import (
+    UnionFind,
+    bfs_order,
+    component_subgraphs,
+    connected_components,
+    is_connected,
+    spanning_forest,
+)
+from repro.graphs.graph import Graph
+from repro.graphs.operations import disjoint_union
+
+
+class TestUnionFind:
+    def test_initial_components(self):
+        uf = UnionFind(5)
+        assert uf.num_components == 5
+
+    def test_union_reduces_components(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.num_components == 3
+
+    def test_union_same_set_returns_false(self):
+        uf = UnionFind(4)
+        uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.num_components == 3
+
+    def test_connected(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.connected(0, 2)
+        assert not uf.connected(0, 3)
+
+    def test_component_labels_compact(self):
+        uf = UnionFind(6)
+        uf.union(0, 3)
+        uf.union(1, 4)
+        labels = uf.component_labels()
+        assert labels.shape == (6,)
+        assert labels.max() == 3  # 4 components labelled 0..3
+        assert labels[0] == labels[3]
+        assert labels[1] == labels[4]
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            UnionFind(-1)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_naive_connectivity(self, seed):
+        """Union-find answers match transitive closure of the union operations."""
+        rng = np.random.default_rng(seed)
+        n = 15
+        uf = UnionFind(n)
+        naive = {i: {i} for i in range(n)}
+        for _ in range(20):
+            a, b = rng.integers(0, n, size=2)
+            uf.union(int(a), int(b))
+            merged = naive[a] | naive[b]
+            for member in merged:
+                naive[member] = merged
+        for i in range(n):
+            for j in range(n):
+                assert uf.connected(i, j) == (j in naive[i])
+
+
+class TestComponents:
+    def test_connected_graph_single_component(self, small_er_graph):
+        labels = connected_components(small_er_graph)
+        assert labels.max() == 0
+        assert is_connected(small_er_graph)
+
+    def test_disconnected_union(self, triangle_graph):
+        g = disjoint_union(triangle_graph, triangle_graph)
+        labels = connected_components(g)
+        assert labels.max() == 1
+        assert not is_connected(g)
+        assert np.all(labels[:3] == labels[0])
+        assert np.all(labels[3:] == labels[3])
+
+    def test_isolated_vertices(self):
+        g = Graph(5, [0], [1], [1.0])
+        labels = connected_components(g)
+        assert len(np.unique(labels)) == 4
+
+    def test_empty_graph(self):
+        g = Graph(4)
+        assert len(np.unique(connected_components(g))) == 4
+
+    def test_single_vertex_connected(self):
+        assert is_connected(Graph(1))
+        assert is_connected(Graph(0))
+
+    def test_component_subgraphs(self, triangle_graph, weighted_path):
+        combined = disjoint_union(triangle_graph, weighted_path)
+        parts = component_subgraphs(combined)
+        assert len(parts) == 2
+        sizes = sorted(sub.num_vertices for _, sub in parts)
+        assert sizes == [3, 4]
+        total_edges = sum(sub.num_edges for _, sub in parts)
+        assert total_edges == combined.num_edges
+
+    def test_component_subgraph_vertex_ids_map_back(self, triangle_graph):
+        combined = disjoint_union(triangle_graph, Graph(2))
+        parts = component_subgraphs(combined)
+        all_ids = np.concatenate([ids for ids, _ in parts])
+        assert sorted(all_ids.tolist()) == list(range(5))
+
+
+class TestSpanningForestAndBFS:
+    def test_spanning_forest_connected_graph(self, small_er_graph):
+        forest = spanning_forest(small_er_graph)
+        assert forest.num_edges == small_er_graph.num_vertices - 1
+        assert is_connected(forest)
+
+    def test_spanning_forest_disconnected(self, triangle_graph):
+        g = disjoint_union(triangle_graph, triangle_graph)
+        forest = spanning_forest(g)
+        assert forest.num_edges == 6 - 2  # n - c
+
+    def test_spanning_forest_preserves_components(self, dumbbell):
+        forest = spanning_forest(dumbbell)
+        assert np.array_equal(
+            connected_components(forest), connected_components(dumbbell)
+        )
+
+    def test_bfs_order_visits_component(self, small_er_graph):
+        order = bfs_order(small_er_graph, source=0)
+        assert order[0] == 0
+        assert len(np.unique(order)) == small_er_graph.num_vertices
+
+    def test_bfs_order_partial_for_disconnected(self, triangle_graph):
+        g = disjoint_union(triangle_graph, triangle_graph)
+        order = bfs_order(g, source=0)
+        assert len(order) == 3
+
+    def test_bfs_order_bad_source(self, triangle_graph):
+        with pytest.raises(ValueError):
+            bfs_order(triangle_graph, source=10)
+
+    @given(seed=st.integers(min_value=0, max_value=5_000))
+    @settings(max_examples=20, deadline=None)
+    def test_components_match_networkx(self, seed):
+        """Cross-check the vectorised component labelling against networkx."""
+        import networkx as nx
+
+        from repro.graphs.conversion import to_networkx
+
+        rng = np.random.default_rng(seed)
+        n = 25
+        m = int(rng.integers(0, 40))
+        u = rng.integers(0, n, size=m)
+        v = rng.integers(0, n, size=m)
+        mask = u != v
+        g = Graph(n, u[mask], v[mask], np.ones(mask.sum()))
+        ours = len(np.unique(connected_components(g)))
+        theirs = nx.number_connected_components(to_networkx(g))
+        # networkx counts isolated vertices as components too; so do we.
+        assert ours == theirs

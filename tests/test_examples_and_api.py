@@ -1,0 +1,86 @@
+"""Smoke tests: the public API surface and the runnable example scripts.
+
+The examples double as end-to-end integration tests; running their
+``main()`` functions here guarantees the documented entry points never rot.
+Output is captured by pytest, so the suite stays quiet.
+"""
+
+import importlib
+import pathlib
+import sys
+
+import pytest
+
+import repro
+
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    """Import an example script as a module (examples/ is not a package)."""
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPublicAPI:
+    def test_version_string(self):
+        assert isinstance(repro.__version__, str)
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ lists {name} but it is missing"
+
+    def test_key_entry_points_are_callable(self):
+        for name in (
+            "parallel_sample",
+            "parallel_sparsify",
+            "certify_approximation",
+            "baswana_sen_spanner",
+            "t_bundle_spanner",
+            "solve_laplacian",
+            "solve_sdd",
+            "spielman_srivastava_sparsify",
+        ):
+            assert callable(getattr(repro, name))
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.graphs",
+            "repro.spanners",
+            "repro.resistance",
+            "repro.parallel",
+            "repro.core",
+            "repro.solvers",
+            "repro.baselines",
+            "repro.analysis",
+            "repro.linalg",
+            "repro.utils",
+        ):
+            importlib.import_module(module)
+
+    def test_docstrings_present_on_public_functions(self):
+        for name in repro.__all__:
+            obj = getattr(repro, name)
+            if callable(obj) and not isinstance(obj, type(repro)):
+                assert obj.__doc__, f"{name} is missing a docstring"
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "quickstart.py",
+        "distributed_sparsification.py",
+        "sdd_solver_demo.py",
+        "image_affinity_sparsification.py",
+    ],
+)
+def test_example_scripts_run(script, capsys):
+    module = _load_example(script)
+    module.main()
+    captured = capsys.readouterr()
+    assert captured.out.strip(), f"{script} produced no output"

@@ -1,0 +1,127 @@
+"""Tests for repro.graphs.laplacian."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.graphs.laplacian import (
+    edge_laplacian,
+    incidence_matrix,
+    is_laplacian,
+    laplacian_from_edges,
+    laplacian_quadratic_form,
+    laplacian_to_graph_arrays,
+    weighted_degrees,
+)
+
+
+class TestLaplacianFromEdges:
+    def test_matches_graph_laplacian(self, weighted_er_graph):
+        g = weighted_er_graph
+        lap = laplacian_from_edges(g.num_vertices, g.edge_u, g.edge_v, g.edge_weights)
+        assert np.allclose(lap.toarray(), g.laplacian().toarray())
+
+    def test_parallel_edges_summed(self):
+        lap = laplacian_from_edges(2, np.array([0, 0]), np.array([1, 1]), np.array([1.0, 2.0]))
+        assert lap[0, 1] == pytest.approx(-3.0)
+        assert lap[0, 0] == pytest.approx(3.0)
+
+    def test_empty_edges(self):
+        lap = laplacian_from_edges(3, np.array([], dtype=int), np.array([], dtype=int), np.array([]))
+        assert lap.nnz == 0
+        assert lap.shape == (3, 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(GraphError):
+            laplacian_from_edges(3, np.array([0]), np.array([1, 2]), np.array([1.0]))
+
+
+class TestIncidenceAndEdgeLaplacian:
+    def test_incidence_reconstruction(self, small_er_graph):
+        g = small_er_graph
+        inc = incidence_matrix(g.num_vertices, g.edge_u, g.edge_v)
+        reconstructed = inc.T @ sp.diags(g.edge_weights) @ inc
+        assert np.allclose(reconstructed.toarray(), g.laplacian().toarray())
+
+    def test_edge_laplacian_structure(self):
+        be = edge_laplacian(4, 1, 3, weight=2.0).toarray()
+        expected = np.zeros((4, 4))
+        expected[1, 1] = expected[3, 3] = 2.0
+        expected[1, 3] = expected[3, 1] = -2.0
+        assert np.allclose(be, expected)
+
+    def test_edge_laplacian_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            edge_laplacian(3, 1, 1)
+
+    def test_edge_laplacian_sum_equals_graph_laplacian(self, weighted_path):
+        total = sum(
+            edge_laplacian(weighted_path.num_vertices, u, v, w).toarray()
+            for u, v, w in weighted_path.edges()
+        )
+        assert np.allclose(total, weighted_path.laplacian().toarray())
+
+    def test_edge_laplacian_psd_dominated_by_resistance(self, triangle_graph):
+        # B_e <= R_e * L_G  (the algebraic fact quoted before Corollary 1).
+        from repro.resistance.exact import effective_resistance
+
+        lap = triangle_graph.laplacian().toarray()
+        for u, v, w in triangle_graph.edges():
+            be = edge_laplacian(3, u, v, 1.0).toarray()
+            r = effective_resistance(triangle_graph, u, v)
+            diff = r * lap - be
+            eigenvalues = np.linalg.eigvalsh(0.5 * (diff + diff.T))
+            assert eigenvalues.min() >= -1e-9
+
+
+class TestHelpers:
+    def test_weighted_degrees(self, weighted_path):
+        deg = weighted_degrees(4, weighted_path.edge_u, weighted_path.edge_v, weighted_path.edge_weights)
+        assert np.allclose(deg, [1.0, 3.0, 6.0, 4.0])
+
+    def test_quadratic_form_from_arrays(self, weighted_er_graph, rng):
+        g = weighted_er_graph
+        x = rng.standard_normal(g.num_vertices)
+        val = laplacian_quadratic_form(g.edge_u, g.edge_v, g.edge_weights, x)
+        assert val == pytest.approx(g.quadratic_form(x))
+
+    def test_quadratic_form_empty(self):
+        assert laplacian_quadratic_form(np.array([]), np.array([]), np.array([]), np.array([1.0])) == 0.0
+
+
+class TestIsLaplacian:
+    def test_true_for_graph_laplacian(self, small_er_graph):
+        assert is_laplacian(small_er_graph.laplacian())
+        assert is_laplacian(small_er_graph.laplacian().toarray())
+
+    def test_false_for_identity(self):
+        assert not is_laplacian(np.eye(3))
+
+    def test_false_for_asymmetric(self):
+        mat = np.array([[1.0, -1.0], [0.0, 1.0]])
+        assert not is_laplacian(mat)
+
+    def test_false_for_positive_offdiagonal(self):
+        mat = np.array([[1.0, 1.0], [1.0, 1.0]])
+        assert not is_laplacian(mat)
+
+    def test_false_for_rectangular(self):
+        assert not is_laplacian(np.ones((2, 3)))
+
+    def test_empty_matrix(self):
+        assert is_laplacian(np.zeros((3, 3)))
+
+
+class TestLaplacianToGraphArrays:
+    def test_roundtrip(self, weighted_er_graph):
+        lap = weighted_er_graph.laplacian()
+        n, u, v, w = laplacian_to_graph_arrays(lap)
+        rebuilt = Graph(n, u, v, w)
+        assert rebuilt.same_edge_set(weighted_er_graph)
+
+    def test_weight_tolerance_drops_noise(self):
+        g = Graph(3, [0, 1], [1, 2], [1.0, 1e-15])
+        n, u, v, w = laplacian_to_graph_arrays(g.laplacian(), weight_tol=1e-12)
+        assert len(w) == 1

@@ -1,0 +1,113 @@
+"""Tests for repro.graphs.operations (graph algebra)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.operations import (
+    disjoint_union,
+    edge_membership_mask,
+    graph_difference,
+    graph_scale,
+    graph_sum,
+    induced_subgraph,
+    reweighted,
+)
+
+
+class TestGraphSum:
+    def test_sum_of_laplacians(self, triangle_graph, rng):
+        doubled = graph_sum([triangle_graph, triangle_graph], coalesce=True)
+        assert np.allclose(
+            doubled.laplacian().toarray(), 2 * triangle_graph.laplacian().toarray()
+        )
+
+    def test_sum_preserves_multigraph_without_coalesce(self, triangle_graph):
+        result = graph_sum([triangle_graph, triangle_graph])
+        assert result.num_edges == 6
+
+    def test_sum_requires_matching_vertex_counts(self, triangle_graph):
+        with pytest.raises(GraphError):
+            graph_sum([triangle_graph, Graph(4)])
+
+    def test_sum_empty_list(self):
+        with pytest.raises(GraphError):
+            graph_sum([])
+
+    def test_sum_with_empty_graphs(self):
+        result = graph_sum([Graph(3), Graph(3)])
+        assert result.num_edges == 0
+
+    def test_scale(self, weighted_path):
+        assert graph_scale(weighted_path, 3.0).total_weight == pytest.approx(21.0)
+
+
+class TestMembershipAndDifference:
+    def test_membership_mask(self, weighted_path):
+        sub = weighted_path.select_edges(np.array([0, 2]))
+        mask = edge_membership_mask(weighted_path, sub)
+        assert mask.tolist() == [True, False, True]
+
+    def test_membership_with_empty_subgraph(self, weighted_path):
+        mask = edge_membership_mask(weighted_path, Graph(4))
+        assert not mask.any()
+
+    def test_membership_requires_same_vertex_set(self, weighted_path):
+        with pytest.raises(GraphError):
+            edge_membership_mask(weighted_path, Graph(5))
+
+    def test_difference_removes_subgraph_edges(self, small_er_graph):
+        sub = small_er_graph.select_edges(np.arange(10))
+        remaining = graph_difference(small_er_graph, sub)
+        assert remaining.num_edges == small_er_graph.num_edges - 10
+        mask = edge_membership_mask(remaining, sub)
+        assert not mask.any()
+
+    def test_difference_with_itself_is_empty(self, small_er_graph):
+        assert graph_difference(small_er_graph, small_er_graph).num_edges == 0
+
+    def test_difference_ignores_weights(self):
+        g = Graph(3, [0, 1], [1, 2], [1.0, 1.0])
+        h = Graph(3, [0], [1], [99.0])  # same endpoints, different weight
+        assert graph_difference(g, h).num_edges == 1
+
+    def test_bundle_peeling_identity(self, small_er_graph):
+        """G = H + (G - H) at the edge-set level (what the bundle construction relies on)."""
+        h = small_er_graph.select_edges(np.arange(0, small_er_graph.num_edges, 3))
+        rest = graph_difference(small_er_graph, h)
+        recombined = graph_sum([h, rest])
+        assert recombined.same_edge_set(small_er_graph)
+
+
+class TestSubgraphAndReweight:
+    def test_induced_subgraph_relabels(self):
+        g = gen.grid_graph(3, 3)
+        sub = induced_subgraph(g, [0, 1, 3, 4])
+        assert sub.num_vertices == 4
+        assert sub.num_edges == 4  # the 2x2 sub-grid
+
+    def test_induced_subgraph_out_of_range(self, triangle_graph):
+        with pytest.raises(GraphError):
+            induced_subgraph(triangle_graph, [0, 5])
+
+    def test_induced_subgraph_empty_selection(self, triangle_graph):
+        sub = induced_subgraph(triangle_graph, [])
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
+    def test_reweighted(self, weighted_path):
+        new = reweighted(weighted_path, np.array([1.0, 1.0, 1.0]))
+        assert new.total_weight == pytest.approx(3.0)
+
+    def test_reweighted_wrong_length(self, weighted_path):
+        with pytest.raises(GraphError):
+            reweighted(weighted_path, np.array([1.0]))
+
+    def test_disjoint_union(self, triangle_graph, weighted_path):
+        combined = disjoint_union(triangle_graph, weighted_path)
+        assert combined.num_vertices == 7
+        assert combined.num_edges == 6
+        # No edges between the two blocks.
+        assert not combined.has_edge(0, 4)
