@@ -52,6 +52,8 @@ from repro.core import (
     SpectralCertificate,
     distributed_parallel_sample,
     distributed_parallel_sparsify,
+    sparsify_many,
+    BatchSparsifyResult,
 )
 
 # Resistances.
@@ -72,8 +74,17 @@ from repro.baselines import (
     kapralov_panigrahi_sparsify,
 )
 
-# Parallel / distributed models.
-from repro.parallel import PRAMTracker, DistributedSimulator, PRAMCost, DistributedCost
+# Parallel / distributed models and execution backends.
+from repro.parallel import (
+    PRAMTracker,
+    DistributedSimulator,
+    PRAMCost,
+    DistributedCost,
+    ExecutionBackend,
+    available_backends,
+    get_backend,
+    set_default_backend,
+)
 
 __all__ = [
     "__version__",
@@ -93,6 +104,8 @@ __all__ = [
     "SpectralCertificate",
     "distributed_parallel_sample",
     "distributed_parallel_sparsify",
+    "sparsify_many",
+    "BatchSparsifyResult",
     "effective_resistance",
     "effective_resistances_all_edges",
     "leverage_scores",
@@ -107,4 +120,8 @@ __all__ = [
     "DistributedSimulator",
     "PRAMCost",
     "DistributedCost",
+    "ExecutionBackend",
+    "available_backends",
+    "get_backend",
+    "set_default_backend",
 ]

@@ -9,9 +9,17 @@ Subcommands
     Run ``PARALLELSPARSIFY`` on a weighted edge-list file and write the
     sparsifier to another edge-list file, printing a summary (edge counts,
     rounds, and — optionally — the measured spectral certificate).
+``batch``
+    Run ``PARALLELSPARSIFY`` on many edge-list files at once, fanning the
+    jobs out across the selected execution backend
+    (:func:`repro.core.batch.sparsify_many`).
 ``spanner``
     Compute a Baswana–Sen log n-spanner (or a t-bundle) of an edge-list
     file and write it out.
+
+``sparsify`` and ``batch`` accept ``--backend`` / ``--workers`` /
+``--shards`` to choose where the work executes; backends never change the
+output for a fixed seed, while the shard count is part of the algorithm.
 
 The edge-list format is the one produced by
 :func:`repro.graphs.io.write_edge_list`: a ``# n m`` header followed by
@@ -22,16 +30,54 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
+from repro.core.batch import sparsify_many
 from repro.core.certificates import certify_approximation
 from repro.core.config import SparsifierConfig
 from repro.core.sparsify import parallel_sparsify
 from repro.graphs.io import read_edge_list, write_edge_list
+from repro.parallel.backends import available_backends
 from repro.spanners.baswana_sen import baswana_sen_spanner
 from repro.spanners.bundle import t_bundle_spanner
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_sparsify_arguments(parser: argparse.ArgumentParser) -> None:
+    """Algorithm options shared by ``sparsify`` and ``batch``."""
+    parser.add_argument("--epsilon", type=float, default=0.5, help="target epsilon (default 0.5)")
+    parser.add_argument("--rho", type=float, default=4.0, help="sparsification factor (default 4)")
+    parser.add_argument("--bundle-t", type=int, default=None,
+                        help="explicit bundle size (default: practical-mode ~log n)")
+    parser.add_argument("--mode", choices=["practical", "theory"], default="practical",
+                        help="constant regime (default practical)")
+    parser.add_argument("--tree-bundle", action="store_true",
+                        help="use low-stretch-tree bundles (Remark 2) instead of spanners")
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+
+
+def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
+    """Execution-backend options shared by ``sparsify`` and ``batch``."""
+    parser.add_argument("--backend", choices=list(available_backends()), default=None,
+                        help="execution backend for shard/job fan-out (default: serial)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker count for the backend (default: backend-specific)")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="vertex-range shards for shard-parallel execution (default 1)")
+
+
+def _config_from_args(args: argparse.Namespace) -> SparsifierConfig:
+    return SparsifierConfig(
+        epsilon=args.epsilon,
+        mode=args.mode,
+        bundle_t=args.bundle_t,
+        use_tree_bundle=args.tree_bundle,
+        backend=args.backend,
+        max_workers=args.workers,
+        num_shards=args.shards,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -45,17 +91,19 @@ def build_parser() -> argparse.ArgumentParser:
     sparsify = subparsers.add_parser("sparsify", help="run PARALLELSPARSIFY on an edge list")
     sparsify.add_argument("input", help="input edge-list file (# n m header, 'u v w' lines)")
     sparsify.add_argument("output", help="output edge-list file for the sparsifier")
-    sparsify.add_argument("--epsilon", type=float, default=0.5, help="target epsilon (default 0.5)")
-    sparsify.add_argument("--rho", type=float, default=4.0, help="sparsification factor (default 4)")
-    sparsify.add_argument("--bundle-t", type=int, default=None,
-                          help="explicit bundle size (default: practical-mode ~log n)")
-    sparsify.add_argument("--mode", choices=["practical", "theory"], default="practical",
-                          help="constant regime (default practical)")
-    sparsify.add_argument("--tree-bundle", action="store_true",
-                          help="use low-stretch-tree bundles (Remark 2) instead of spanners")
-    sparsify.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_sparsify_arguments(sparsify)
+    _add_execution_arguments(sparsify)
     sparsify.add_argument("--certify", action="store_true",
                           help="also measure the spectral certificate (dense eigensolve; small graphs only)")
+
+    batch = subparsers.add_parser(
+        "batch", help="run PARALLELSPARSIFY on many edge lists across a backend"
+    )
+    batch.add_argument("inputs", nargs="+", help="input edge-list files (one job per file)")
+    batch.add_argument("--output-dir", required=True,
+                       help="directory for the sparsifier edge lists (<stem>.sparsified.txt)")
+    _add_sparsify_arguments(batch)
+    _add_execution_arguments(batch)
 
     spanner = subparsers.add_parser("spanner", help="compute a spanner / t-bundle of an edge list")
     spanner.add_argument("input", help="input edge-list file")
@@ -69,12 +117,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _run_sparsify(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.input)
-    config = SparsifierConfig(
-        epsilon=args.epsilon,
-        mode=args.mode,
-        bundle_t=args.bundle_t,
-        use_tree_bundle=args.tree_bundle,
-    )
+    config = _config_from_args(args)
     result = parallel_sparsify(
         graph, epsilon=args.epsilon, rho=args.rho, config=config, seed=args.seed
     )
@@ -89,6 +132,40 @@ def _run_sparsify(args: argparse.Namespace) -> int:
         cert = certify_approximation(graph, result.sparsifier)
         print(f"certificate: {cert.lower:.4f} * G <= H <= {cert.upper:.4f} * G "
               f"(eps_achieved={cert.epsilon_achieved:.4f})")
+    return 0
+
+
+def _run_batch(args: argparse.Namespace) -> int:
+    graphs = [read_edge_list(path) for path in args.inputs]
+    config = _config_from_args(args)
+    result = sparsify_many(
+        graphs, epsilon=args.epsilon, rho=args.rho, config=config, seed=args.seed
+    )
+    output_dir = Path(args.output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    # Inputs from different directories may share a stem (and a stem may
+    # itself look like a numbered duplicate); pick names against the set
+    # already assigned so no job silently overwrites another's output.
+    used_names: set = set()
+    out_names = []
+    for path in args.inputs:
+        stem = Path(path).stem
+        candidate = f"{stem}.sparsified.txt"
+        bump = 1
+        while candidate in used_names:
+            candidate = f"{stem}-{bump}.sparsified.txt"
+            bump += 1
+        used_names.add(candidate)
+        out_names.append(candidate)
+    for path, out_name, job in zip(args.inputs, out_names, result.results):
+        out_path = output_dir / out_name
+        write_edge_list(job.sparsifier, out_path)
+        print(f"{path}: m={job.input_edges} -> {job.output_edges} "
+              f"({job.reduction_factor:.2f}x, {len(job.rounds)} rounds) -> {out_path}")
+    print(f"batch : {result.num_jobs} jobs on backend={result.backend_name} "
+          f"workers={result.max_workers}")
+    print(f"total : m={result.total_input_edges} -> {result.total_output_edges} "
+          f"({result.reduction_factor:.2f}x reduction)")
     return 0
 
 
@@ -114,6 +191,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.command == "sparsify":
         return _run_sparsify(args)
+    if args.command == "batch":
+        return _run_batch(args)
     if args.command == "spanner":
         return _run_spanner(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -13,6 +13,8 @@
 * :mod:`repro.core.distributed_sparsify` — the same pipeline driven
   through the synchronous distributed simulator, with round/message
   accounting (the distributed halves of Theorems 4–5).
+* :mod:`repro.core.batch` — fan many independent sparsification jobs out
+  across an execution backend (the serving-many-workloads entry point).
 """
 
 from repro.core.config import SparsifierConfig
@@ -25,6 +27,7 @@ from repro.core.distributed_sparsify import (
     distributed_parallel_sample,
     distributed_parallel_sparsify,
 )
+from repro.core.batch import BatchSparsifyResult, sparsify_many
 
 __all__ = [
     "SparsifierConfig",
@@ -39,4 +42,6 @@ __all__ = [
     "DistributedSparsifyResult",
     "distributed_parallel_sample",
     "distributed_parallel_sparsify",
+    "BatchSparsifyResult",
+    "sparsify_many",
 ]

@@ -1,0 +1,154 @@
+"""Batch sparsification: fan independent jobs across an execution backend.
+
+A serving deployment of the sparsifier sees many independent graphs at
+once — per-tenant similarity graphs, frames of a temporal graph stream,
+parameter-sweep repetitions.  :func:`sparsify_many` is the entry point for
+that workload shape: it splits the seed into one RNG sub-stream per job
+*before* dispatch, fans the jobs out over an execution backend
+(:mod:`repro.parallel.backends`), and returns the per-job
+:class:`~repro.core.sparsify.SparsifyResult` objects together with the
+fork/join-combined :class:`~repro.parallel.metrics.PRAMCost` aggregate.
+
+Because the per-job sub-streams are fixed up front, the batch output is
+bit-identical to running each job individually with its sub-stream — on
+every backend and worker count.
+
+Jobs always execute their *internal* work serially (the job-level fan-out
+is the parallelism); this avoids nested pools when the batch itself runs
+on a thread or process backend, and is output-neutral because backends
+never affect results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.core.config import SparsifierConfig
+from repro.core.sparsify import SparsifyResult, parallel_sparsify
+from repro.graphs.graph import Graph
+from repro.parallel.backends import BackendSpec, get_backend
+from repro.parallel.metrics import PRAMCost, combine_parallel
+from repro.utils.rng import SeedLike, as_rng, split_rng
+
+__all__ = ["BatchSparsifyResult", "sparsify_many"]
+
+
+@dataclass
+class BatchSparsifyResult:
+    """Outcome of a batch ``PARALLELSPARSIFY`` fan-out.
+
+    Attributes
+    ----------
+    results:
+        Per-job results, in input order.
+    cost:
+        Aggregate PRAM cost with fork/join semantics across jobs: work
+        adds, depth is the maximum (the jobs are independent).
+    epsilon / rho:
+        Parameters shared by every job.
+    backend_name / max_workers:
+        The execution backend the batch ran on.
+    """
+
+    results: List[SparsifyResult]
+    cost: PRAMCost = field(default_factory=PRAMCost)
+    epsilon: Optional[float] = None
+    rho: float = 4.0
+    backend_name: str = "serial"
+    max_workers: int = 1
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def total_input_edges(self) -> int:
+        return sum(r.input_edges for r in self.results)
+
+    @property
+    def total_output_edges(self) -> int:
+        return sum(r.output_edges for r in self.results)
+
+    @property
+    def reduction_factor(self) -> float:
+        """Aggregate input edges divided by aggregate output edges."""
+        out = self.total_output_edges
+        if out == 0:
+            return float("inf") if self.total_input_edges else 1.0
+        return self.total_input_edges / out
+
+
+def _batch_sparsify_job(item: Dict[str, Any]) -> SparsifyResult:
+    """One batch job; module-level so the process backend can pickle it."""
+    return parallel_sparsify(
+        item["graph"],
+        epsilon=item["epsilon"],
+        rho=item["rho"],
+        config=item["config"],
+        seed=item["rng"],
+    )
+
+
+def sparsify_many(
+    graphs: Sequence[Graph] | Iterable[Graph],
+    epsilon: Optional[float] = None,
+    rho: float = 4.0,
+    config: Optional[SparsifierConfig] = None,
+    seed: SeedLike = None,
+    backend: BackendSpec = None,
+    max_workers: Optional[int] = None,
+) -> BatchSparsifyResult:
+    """Sparsify many independent graphs concurrently.
+
+    Parameters
+    ----------
+    graphs:
+        The input graphs; one ``PARALLELSPARSIFY`` job per graph.
+    epsilon / rho / config:
+        Passed to every job (see :func:`repro.core.sparsify.parallel_sparsify`).
+    seed:
+        Batch seed; job ``i`` receives the ``i``-th sub-stream of it, so a
+        fixed batch seed reproduces every job bit-identically regardless
+        of backend or worker count.
+    backend / max_workers:
+        Execution backend for the job fan-out; defaults to the config's
+        ``backend`` / ``max_workers`` fields (and through them to the
+        process-wide default backend).
+
+    Returns
+    -------
+    BatchSparsifyResult
+    """
+    config = config if config is not None else SparsifierConfig()
+    resolved = get_backend(
+        backend if backend is not None else config.backend,
+        max_workers if max_workers is not None else config.max_workers,
+    )
+    graph_list = list(graphs)
+    if not graph_list:
+        return BatchSparsifyResult(
+            results=[],
+            cost=PRAMCost(),
+            epsilon=epsilon,
+            rho=rho,
+            backend_name=resolved.name,
+            max_workers=resolved.max_workers,
+        )
+
+    # Jobs run their internal work serially: the batch IS the fan-out.
+    job_config = config.with_overrides(backend="serial", max_workers=None)
+    job_rngs = split_rng(as_rng(seed), len(graph_list))
+    items = [
+        {"graph": graph, "epsilon": epsilon, "rho": rho, "config": job_config, "rng": job_rngs[i]}
+        for i, graph in enumerate(graph_list)
+    ]
+    results = resolved.map(_batch_sparsify_job, items)
+    return BatchSparsifyResult(
+        results=results,
+        cost=combine_parallel(r.cost for r in results),
+        epsilon=epsilon,
+        rho=rho,
+        backend_name=resolved.name,
+        max_workers=resolved.max_workers,
+    )

@@ -70,6 +70,27 @@ class SparsifierConfig:
     min_edges_to_sparsify:
         Inputs with fewer edges are returned unchanged — mirrors the
         "threshold of applicability" logic of Section 4.
+    backend:
+        Execution backend name (``"serial"``, ``"thread"``, ``"process"``,
+        or any name registered with
+        :func:`repro.parallel.backends.register_backend`); ``None`` uses
+        the process-wide default.  Backends only change *where* shard/job
+        work runs — outputs are bit-identical for a fixed seed on every
+        backend and worker count.
+    max_workers:
+        Worker count for the backend; ``None`` uses the backend default.
+        Setting ``max_workers > 1`` while ``backend`` is ``None`` and the
+        process-wide default is serial raises at use time instead of
+        silently running sequentially.
+    num_shards:
+        Vertex-range shards for the shard-parallel execution paths of
+        ``PARALLELSAMPLE`` and its distributed driver.  ``1`` (default)
+        keeps the classic single-stream execution; with ``num_shards > 1``
+        each shard's spanner/sampling work is dispatched through the
+        backend and cross-shard boundary edges are kept in the bundle.
+        Note that the shard count (unlike the backend) is part of the
+        algorithm: different ``num_shards`` values give different (equally
+        valid) sparsifiers.
     """
 
     epsilon: float = 0.5
@@ -82,6 +103,9 @@ class SparsifierConfig:
     use_tree_bundle: bool = False
     certify_stretch: bool = False
     min_edges_to_sparsify: int = 1
+    backend: Optional[str] = None
+    max_workers: Optional[int] = None
+    num_shards: int = 1
 
     def __post_init__(self) -> None:
         check_epsilon(self.epsilon, "epsilon")
@@ -102,6 +126,14 @@ class SparsifierConfig:
             raise SparsificationError("spanner_k must be >= 1 when given")
         if self.min_edges_to_sparsify < 0:
             raise SparsificationError("min_edges_to_sparsify must be non-negative")
+        if self.backend is not None and not isinstance(self.backend, str):
+            raise SparsificationError(
+                f"backend must be a registered backend name or None, got {self.backend!r}"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise SparsificationError("max_workers must be >= 1 when given")
+        if self.num_shards < 1:
+            raise SparsificationError("num_shards must be >= 1")
 
     # ------------------------------------------------------------------ #
 
@@ -138,6 +170,17 @@ class SparsifierConfig:
         if rho == 1:
             return 0
         return int(np.ceil(np.log2(rho)))
+
+    def execution_backend(self):
+        """Resolve the configured :class:`repro.parallel.backends.ExecutionBackend`.
+
+        Invalid backend names raise :class:`repro.exceptions.BackendError`
+        here (at use time) rather than at config construction, so configs
+        can be built before custom backends are registered.
+        """
+        from repro.parallel.backends import get_backend
+
+        return get_backend(self.backend, self.max_workers)
 
     def with_overrides(self, **kwargs) -> "SparsifierConfig":
         """Copy with selected fields replaced (frozen-dataclass convenience)."""

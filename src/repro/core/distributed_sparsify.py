@@ -7,7 +7,7 @@ module measures those quantities by actually executing the pipeline on the
 synchronous simulator:
 
 * each bundle component is built by the distributed Baswana–Sen protocol
-  (:func:`repro.spanners.distributed_spanner.distributed_baswana_sen_spanner`),
+  (:func:`repro.spanners.distributed_spanner.distributed_bundle_spanner`),
   whose rounds/messages the simulator counts;
 * the uniform sampling step is embarrassingly local — the lower-id endpoint
   of each surviving edge flips the coin and informs the other endpoint in
@@ -18,24 +18,44 @@ sequential construction (edges already in the bundle declare themselves
 out, as the paper puts it), so the distributed and sequential pipelines
 produce statistically identical outputs; tests check that equivalence on
 fixed seeds at the level of the certified spectral quality.
+
+Shard-parallel execution
+------------------------
+With ``config.num_shards > 1`` the graph is decomposed into vertex-range
+shards (:mod:`repro.graphs.sharding`); each shard runs the full bundle
+peeling *and* its sampling pass as an independent simulated network, and
+those per-shard jobs are dispatched through the configured execution
+backend (:mod:`repro.parallel.backends`).  Cross-shard boundary edges are
+kept in the bundle outright — they are the inter-machine backbone, and
+keeping an edge exactly never weakens the spectral certificate.  Shard
+networks run concurrently, so their costs combine with max-rounds /
+sum-messages semantics (``DistributedCost.alongside``).  RNG sub-streams
+are split per shard *before* dispatch, making the output bit-identical on
+every backend and worker count for a fixed seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import SparsifierConfig
+from repro.core.sample import (
+    assemble_sample_output,
+    merge_shard_samples,
+    sample_nonbundle_edges,
+)
 from repro.exceptions import SparsificationError
 from repro.graphs.graph import Graph
-from repro.parallel.metrics import DistributedCost
+from repro.graphs.sharding import GraphShards, shard_edges
+from repro.parallel.metrics import DistributedCost, combine_concurrent
 from repro.spanners.distributed_spanner import (
-    DistributedSpannerResult,
-    distributed_baswana_sen_spanner,
+    DistributedBundleResult,
+    distributed_bundle_spanner,
 )
-from repro.utils.rng import SeedLike, as_rng, split_rng
+from repro.utils.rng import RandomState, SeedLike, as_rng, split_rng
 
 __all__ = [
     "DistributedSampleResult",
@@ -59,6 +79,8 @@ class DistributedSampleResult:
     degenerate: bool
     cost: DistributedCost = field(default_factory=DistributedCost)
     components_built: int = 0
+    num_shards: int = 1
+    boundary_edges: int = 0
 
 
 @dataclass
@@ -75,6 +97,114 @@ class DistributedSparsifyResult:
     stopped_early: bool = False
 
 
+def _shard_sample_worker(item: Tuple[int, List[RandomState], RandomState], shared: Dict[str, Any]) -> Dict[str, Any]:
+    """Bundle peeling + Bernoulli sampling on one shard's simulated network.
+
+    Module-level (not a closure) so the process backend can pickle it; the
+    bulky payload — the coalesced graph and the per-shard edge index
+    arrays — arrives through ``shared`` and is transmitted once per
+    worker.
+    """
+    shard_id, component_seeds, sample_rng = item
+    simple: Graph = shared["graph"]
+    config: SparsifierConfig = shared["config"]
+    t: int = shared["t"]
+    idx: np.ndarray = shared["shards"].shard_edge_indices[shard_id]
+    empty = np.array([], dtype=np.int64)
+    if idx.size == 0:
+        return {
+            "bundle": empty,
+            "kept": empty,
+            "outside": 0,
+            "cost": DistributedCost(),
+            "components": 0,
+        }
+    sub = simple.select_edges(idx)
+    bundle: DistributedBundleResult = distributed_bundle_spanner(
+        sub, t=t, k=config.spanner_k, component_seeds=component_seeds
+    )
+    kept, outside = sample_nonbundle_edges(
+        idx, bundle.edge_indices, sample_rng, config.sampling_probability
+    )
+    return {
+        "bundle": idx[bundle.edge_indices],
+        "kept": kept,
+        "outside": outside,
+        "cost": bundle.cost,
+        "components": bundle.components_built,
+    }
+
+
+def _sharded_distributed_sample(
+    simple: Graph,
+    eps: float,
+    t: int,
+    config: SparsifierConfig,
+    rng: RandomState,
+) -> DistributedSampleResult:
+    """Shard-parallel ``PARALLELSAMPLE`` on the distributed simulator."""
+    m = simple.num_edges
+    shards: GraphShards = shard_edges(simple, config.num_shards)
+    backend = config.execution_backend()
+
+    # One RNG stream per shard, split *before* dispatch; each shard stream
+    # then yields its t component streams plus the sampling stream, so the
+    # outcome does not depend on scheduling order, backend, or workers.
+    shard_streams = split_rng(rng, shards.num_shards)
+    items = []
+    for s in range(shards.num_shards):
+        streams = split_rng(shard_streams[s], t + 1)
+        items.append((s, streams[:t], streams[t]))
+    shared = {"graph": simple, "config": config, "t": t, "shards": shards}
+    results = backend.map(_shard_sample_worker, items, shared=shared)
+
+    bundle_indices, kept_outside, total_outside = merge_shard_samples(
+        results, shards.boundary_edge_indices
+    )
+    components_built = max((r["components"] for r in results), default=0)
+
+    # Shard networks run concurrently: rounds max, messages add.  The
+    # sampling coin-flips happen inside the shards in the same single
+    # synchronous round, one one-word message per surviving edge.
+    total_cost = combine_concurrent(r["cost"] for r in results)
+    if total_outside:
+        total_cost = total_cost + DistributedCost(
+            rounds=1, messages=int(total_outside), max_message_words=1
+        )
+
+    if total_outside == 0:
+        return DistributedSampleResult(
+            sparsifier=simple,
+            bundle_edge_indices=bundle_indices,
+            sampled_edge_indices=np.array([], dtype=np.int64),
+            t=t,
+            epsilon=eps,
+            input_edges=m,
+            output_edges=m,
+            degenerate=True,
+            cost=total_cost,
+            components_built=components_built,
+            num_shards=shards.num_shards,
+            boundary_edges=shards.num_boundary_edges,
+        )
+
+    sparsifier = assemble_sample_output(simple, bundle_indices, kept_outside, config.weight_multiplier)
+    return DistributedSampleResult(
+        sparsifier=sparsifier,
+        bundle_edge_indices=bundle_indices,
+        sampled_edge_indices=kept_outside,
+        t=t,
+        epsilon=eps,
+        input_edges=m,
+        output_edges=sparsifier.num_edges,
+        degenerate=False,
+        cost=total_cost,
+        components_built=components_built,
+        num_shards=shards.num_shards,
+        boundary_edges=shards.num_boundary_edges,
+    )
+
+
 def distributed_parallel_sample(
     graph: Graph,
     epsilon: Optional[float] = None,
@@ -86,7 +216,10 @@ def distributed_parallel_sample(
     The input is coalesced (the distributed protocol identifies edges by
     endpoint pairs).  Returns the sparsifier plus the summed
     rounds/messages/max-message-size across all bundle components and the
-    sampling round.
+    sampling round.  With ``config.num_shards > 1`` the per-shard work is
+    fanned out through ``config``'s execution backend (see the module
+    docstring); the default single-shard path preserves the historical
+    RNG stream exactly.
     """
     config = config if config is not None else SparsifierConfig()
     eps = config.epsilon if epsilon is None else float(epsilon)
@@ -111,32 +244,15 @@ def distributed_parallel_sample(
             degenerate=True,
         )
 
+    if config.num_shards > 1:
+        return _sharded_distributed_sample(simple, eps, t, config, rng)
+
     component_seeds = split_rng(rng, t + 1)
-    total_cost = DistributedCost()
-    remaining = simple
-    remaining_to_original = np.arange(m, dtype=np.int64)
-    bundle_indices_parts: List[np.ndarray] = []
-    components_built = 0
-
-    for i in range(t):
-        if remaining.num_edges == 0:
-            break
-        spanner_result: DistributedSpannerResult = distributed_baswana_sen_spanner(
-            remaining, k=config.spanner_k, seed=component_seeds[i]
-        )
-        total_cost = total_cost + spanner_result.cost
-        components_built += 1
-        original_ids = remaining_to_original[spanner_result.edge_indices]
-        bundle_indices_parts.append(original_ids)
-        keep_mask = np.ones(remaining.num_edges, dtype=bool)
-        keep_mask[spanner_result.edge_indices] = False
-        remaining = remaining.select_edges(keep_mask)
-        remaining_to_original = remaining_to_original[keep_mask]
-
-    if bundle_indices_parts:
-        bundle_indices = np.unique(np.concatenate(bundle_indices_parts))
-    else:
-        bundle_indices = np.array([], dtype=np.int64)
+    bundle = distributed_bundle_spanner(
+        simple, t=t, k=config.spanner_k, component_seeds=component_seeds[:t]
+    )
+    bundle_indices = bundle.edge_indices
+    total_cost = bundle.cost
 
     in_bundle = np.zeros(m, dtype=bool)
     in_bundle[bundle_indices] = True
@@ -153,7 +269,7 @@ def distributed_parallel_sample(
             output_edges=m,
             degenerate=True,
             cost=total_cost,
-            components_built=components_built,
+            components_built=bundle.components_built,
         )
 
     # Sampling round: the lower-id endpoint of every surviving edge draws the
@@ -166,16 +282,7 @@ def distributed_parallel_sample(
         rounds=1, messages=int(outside.size), max_message_words=1
     )
 
-    new_u = np.concatenate([simple.edge_u[bundle_indices], simple.edge_u[kept_outside]])
-    new_v = np.concatenate([simple.edge_v[bundle_indices], simple.edge_v[kept_outside]])
-    new_w = np.concatenate(
-        [
-            simple.edge_weights[bundle_indices],
-            simple.edge_weights[kept_outside] * config.weight_multiplier,
-        ]
-    )
-    sparsifier = Graph(n, new_u, new_v, new_w)
-
+    sparsifier = assemble_sample_output(simple, bundle_indices, kept_outside, config.weight_multiplier)
     return DistributedSampleResult(
         sparsifier=sparsifier,
         bundle_edge_indices=bundle_indices,
@@ -186,7 +293,7 @@ def distributed_parallel_sample(
         output_edges=sparsifier.num_edges,
         degenerate=False,
         cost=total_cost,
-        components_built=components_built,
+        components_built=bundle.components_built,
     )
 
 
@@ -198,7 +305,12 @@ def distributed_parallel_sparsify(
     seed: SeedLike = None,
     stop_on_degenerate: bool = True,
 ) -> DistributedSparsifyResult:
-    """Distributed Algorithm 2: iterate distributed ``PARALLELSAMPLE``."""
+    """Distributed Algorithm 2: iterate distributed ``PARALLELSAMPLE``.
+
+    The rounds are inherently sequential (round ``i+1`` consumes round
+    ``i``'s output); the parallelism lives inside each round's shard
+    fan-out when ``config.num_shards > 1``.
+    """
     config = config if config is not None else SparsifierConfig()
     eps = config.epsilon if epsilon is None else float(epsilon)
     if rho < 1:

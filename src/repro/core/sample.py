@@ -17,26 +17,102 @@ The implementation below is the vectorised sequential execution of the
 parallel algorithm; the PRAM cost of each step is charged to the tracker
 (Corollary 2 + an O(m) sampling pass), and the distributed execution lives
 in :mod:`repro.core.distributed_sparsify`.
+
+With ``config.num_shards > 1`` the graph is decomposed into vertex-range
+shards (:mod:`repro.graphs.sharding`) and each shard's bundle construction
+and sampling pass run as one job on the configured execution backend
+(:mod:`repro.parallel.backends`); cross-shard boundary edges join the
+bundle outright.  RNG sub-streams are split per shard before dispatch, so
+a fixed seed gives bit-identical output on every backend and worker
+count.  Shard costs combine with the PRAM fork/join rule (work adds,
+depth is the max).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.core.config import SparsifierConfig
 from repro.exceptions import SparsificationError
 from repro.graphs.graph import Graph
-from repro.parallel.metrics import PRAMCost
+from repro.graphs.sharding import GraphShards, shard_edges
+from repro.parallel.metrics import PRAMCost, combine_parallel
 from repro.parallel.pram import PRAMTracker
 from repro.spanners.bundle import BundleResult, t_bundle_spanner
 from repro.spanners.low_stretch_tree import tree_bundle
 from repro.spanners.verification import repair_spanner
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import RandomState, SeedLike, as_rng, split_rng
 
-__all__ = ["SampleResult", "parallel_sample"]
+__all__ = ["SampleResult", "parallel_sample", "assemble_sample_output"]
+
+
+def assemble_sample_output(
+    graph: Graph,
+    bundle_indices: np.ndarray,
+    kept_outside: np.ndarray,
+    weight_multiplier: float,
+) -> Graph:
+    """Steps 2–3 output assembly shared by every execution path.
+
+    Bundle edges keep their original weight; sampled survivors are
+    reweighted by ``1/p`` so the Laplacian is preserved in expectation.
+    The sharded, unsharded, and distributed pipelines all build their
+    sparsifier through this one function so the reweighting rule cannot
+    drift between them.
+    """
+    new_u = np.concatenate([graph.edge_u[bundle_indices], graph.edge_u[kept_outside]])
+    new_v = np.concatenate([graph.edge_v[bundle_indices], graph.edge_v[kept_outside]])
+    new_w = np.concatenate(
+        [
+            graph.edge_weights[bundle_indices],
+            graph.edge_weights[kept_outside] * weight_multiplier,
+        ]
+    )
+    return Graph(graph.num_vertices, new_u, new_v, new_w)
+
+
+def sample_nonbundle_edges(
+    idx: np.ndarray,
+    local_bundle: np.ndarray,
+    sample_rng: RandomState,
+    sampling_probability: float,
+) -> Tuple[np.ndarray, int]:
+    """Bernoulli-sample the shard edges outside the shard's bundle.
+
+    ``idx`` maps the shard's edge positions to original-graph indices and
+    ``local_bundle`` lists the bundle picks in shard-local positions.
+    Returns the kept survivors as original-graph indices plus the number
+    of non-bundle candidates (for the degenerate check and the
+    distributed message count).  Shared by the PRAM and distributed shard
+    workers so the sampling rule cannot drift between them.
+    """
+    in_bundle = np.zeros(idx.size, dtype=bool)
+    in_bundle[local_bundle] = True
+    outside_local = np.flatnonzero(~in_bundle)
+    keep_mask = sample_rng.random(outside_local.size) < sampling_probability
+    return idx[outside_local[keep_mask]], int(outside_local.size)
+
+
+def merge_shard_samples(
+    results: list, boundary_edge_indices: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Combine per-shard worker results into global index arrays.
+
+    The bundle is the union of every shard's picks plus all cross-shard
+    boundary edges; the sampled survivors are sorted into a canonical
+    order so the output is independent of shard execution order.  Shared
+    by the PRAM and distributed sharded drivers.
+    """
+    bundle_parts = [r["bundle"] for r in results] + [boundary_edge_indices]
+    bundle_indices = np.unique(np.concatenate(bundle_parts))
+    kept_outside = np.sort(
+        np.concatenate([r["kept"] for r in results] + [np.array([], dtype=np.int64)])
+    )
+    total_outside = sum(r["outside"] for r in results)
+    return bundle_indices, kept_outside, total_outside
 
 
 @dataclass
@@ -88,6 +164,124 @@ class SampleResult:
         return self.output_edges / self.input_edges
 
 
+def _shard_bundle_and_sample_worker(
+    item: Tuple[int, RandomState, RandomState], shared: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Bundle construction + Bernoulli sampling on one shard's edge subset.
+
+    Module-level (not a closure) so the process backend can pickle it; the
+    graph and shard index arrays travel through ``shared`` once per
+    worker.  Returns original-graph edge indices plus the shard's PRAM
+    cost so the parent can fork/join-combine the shards.
+    """
+    shard_id, bundle_rng, sample_rng = item
+    graph: Graph = shared["graph"]
+    config: SparsifierConfig = shared["config"]
+    t: int = shared["t"]
+    idx: np.ndarray = shared["shards"].shard_edge_indices[shard_id]
+    empty = np.array([], dtype=np.int64)
+    if idx.size == 0:
+        return {"bundle": empty, "kept": empty, "outside": 0, "cost": PRAMCost(), "components": 0}
+
+    tracker = PRAMTracker()
+    sub = graph.select_edges(idx)
+    if config.use_tree_bundle:
+        bundle = tree_bundle(sub, t=t, seed=bundle_rng, tracker=tracker)
+    else:
+        bundle = t_bundle_spanner(sub, t=t, k=config.spanner_k, seed=bundle_rng, tracker=tracker)
+    local_bundle = bundle.edge_indices
+    if config.certify_stretch and bundle.component_edge_indices:
+        stretch_target = 2.0 * np.log2(max(graph.num_vertices, 2))
+        local_bundle = repair_spanner(sub, local_bundle, stretch_target)
+
+    kept, outside = sample_nonbundle_edges(
+        idx, local_bundle, sample_rng, config.sampling_probability
+    )
+    tracker.charge_parallel_for(outside, label="sample/bernoulli")
+    return {
+        "bundle": idx[local_bundle],
+        "kept": kept,
+        "outside": outside,
+        "cost": tracker.total,
+        "components": bundle.t,
+    }
+
+
+def _sharded_parallel_sample(
+    graph: Graph,
+    eps: float,
+    config: SparsifierConfig,
+    rng: RandomState,
+    tracker: PRAMTracker,
+) -> SampleResult:
+    """Shard-parallel Algorithm 1: fan shard jobs out over the backend."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    t = config.bundle_size(n, eps)
+    shards: GraphShards = shard_edges(graph, config.num_shards)
+    backend = config.execution_backend()
+
+    # Two streams per shard (bundle + sampling), split before dispatch so
+    # scheduling order / backend / worker count cannot change the output.
+    streams = split_rng(rng, 2 * shards.num_shards)
+    items = [(s, streams[2 * s], streams[2 * s + 1]) for s in range(shards.num_shards)]
+    shared = {"graph": graph, "config": config, "t": t, "shards": shards}
+    results = backend.map(_shard_bundle_and_sample_worker, items, shared=shared)
+
+    # Shards execute concurrently: PRAM fork/join (work adds, depth max).
+    with tracker.parallel_region():
+        for r in results:
+            tracker.charge(r["cost"].work, r["cost"].depth, label="sample/shard")
+
+    bundle_indices, kept_outside, total_outside = merge_shard_samples(
+        results, shards.boundary_edge_indices
+    )
+    bundle_result = BundleResult(
+        bundle=graph.select_edges(bundle_indices),
+        edge_indices=bundle_indices,
+        # Per-shard (not per-component) breakdown in shard order.
+        component_edge_indices=[r["bundle"] for r in results],
+        t=max((r["components"] for r in results), default=0),
+        requested_t=t,
+        exhausted=total_outside == 0,
+        # Fork/join over the concurrent shards; slightly over-counts the
+        # bundle share (each shard's cost includes its sampling pass).
+        cost=combine_parallel(r["cost"] for r in results),
+    )
+
+    if total_outside == 0:
+        # Bundle + boundary absorbed every edge: threshold of applicability.
+        return SampleResult(
+            sparsifier=graph,
+            bundle=bundle_result,
+            bundle_edge_indices=bundle_indices,
+            sampled_edge_indices=np.array([], dtype=np.int64),
+            epsilon=eps,
+            t=t,
+            input_edges=m,
+            output_edges=m,
+            degenerate=True,
+            cost=tracker.total,
+        )
+
+    sparsifier = assemble_sample_output(
+        graph, bundle_indices, kept_outside, config.weight_multiplier
+    )
+    tracker.charge_parallel_for(sparsifier.num_edges, label="sample/assemble-output")
+    return SampleResult(
+        sparsifier=sparsifier,
+        bundle=bundle_result,
+        bundle_edge_indices=bundle_indices,
+        sampled_edge_indices=kept_outside,
+        epsilon=eps,
+        t=t,
+        input_edges=m,
+        output_edges=sparsifier.num_edges,
+        degenerate=False,
+        cost=tracker.total,
+    )
+
+
 def parallel_sample(
     graph: Graph,
     epsilon: Optional[float] = None,
@@ -106,6 +300,9 @@ def parallel_sample(
         ``config.epsilon``.
     config:
         :class:`SparsifierConfig`; defaults to the practical configuration.
+        With ``config.num_shards > 1`` the bundle/sampling work is sharded
+        and dispatched through ``config``'s execution backend (see the
+        module docstring).
     seed:
         RNG seed (bundle construction and the Bernoulli sampling).
     tracker:
@@ -146,6 +343,9 @@ def parallel_sample(
             degenerate=True,
             cost=tracker.total,
         )
+
+    if config.num_shards > 1:
+        return _sharded_parallel_sample(graph, eps, config, rng, tracker)
 
     # ------------------------------------------------------------------ #
     # Step 1: the t-bundle spanner H.
@@ -195,16 +395,10 @@ def parallel_sample(
     kept_outside = outside[keep_mask]
     tracker.charge_parallel_for(outside.size, label="sample/bernoulli")
 
-    new_u = np.concatenate([graph.edge_u[bundle_indices], graph.edge_u[kept_outside]])
-    new_v = np.concatenate([graph.edge_v[bundle_indices], graph.edge_v[kept_outside]])
-    new_w = np.concatenate(
-        [
-            graph.edge_weights[bundle_indices],
-            graph.edge_weights[kept_outside] * config.weight_multiplier,
-        ]
+    sparsifier = assemble_sample_output(
+        graph, bundle_indices, kept_outside, config.weight_multiplier
     )
-    tracker.charge_parallel_for(new_u.shape[0], label="sample/assemble-output")
-    sparsifier = Graph(n, new_u, new_v, new_w)
+    tracker.charge_parallel_for(sparsifier.num_edges, label="sample/assemble-output")
 
     return SampleResult(
         sparsifier=sparsifier,

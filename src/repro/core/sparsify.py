@@ -114,6 +114,13 @@ def parallel_sparsify(
         are executed.
     config:
         :class:`SparsifierConfig` controlling bundle sizes and sampling.
+        Its ``backend`` / ``max_workers`` / ``num_shards`` fields also
+        select the execution substrate: with ``num_shards > 1`` every
+        round's bundle/sampling work is sharded and fanned out through the
+        configured backend (rounds themselves stay sequential — round
+        ``i+1`` consumes round ``i``'s output).  Backends never change the
+        output for a fixed seed; the shard count does (it is part of the
+        algorithm).
     seed:
         RNG seed; each round gets an independent sub-stream.
     coalesce_between_rounds:

@@ -42,5 +42,9 @@ class SimulationError(ReproError):
     """The PRAM or distributed simulator was driven into an invalid state."""
 
 
+class BackendError(ReproError):
+    """An execution backend was misconfigured or could not be resolved."""
+
+
 class MessageTooLargeError(SimulationError):
     """A distributed message exceeded the O(log n) size budget of the model."""

@@ -27,11 +27,15 @@ from repro.graphs.operations import (
     induced_subgraph,
     reweighted,
 )
+from repro.graphs.sharding import GraphShards, partition_vertex_ranges, shard_edges
 from repro.graphs import generators
 from repro.graphs import io
 from repro.graphs import conversion
 
 __all__ = [
+    "GraphShards",
+    "partition_vertex_ranges",
+    "shard_edges",
     "Graph",
     "edge_laplacian",
     "incidence_matrix",

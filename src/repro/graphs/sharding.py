@@ -1,0 +1,113 @@
+"""Vertex-range sharding of a graph's edge set.
+
+The distributed algorithms of the paper run on a network where every node
+owns its incident edges.  A practical deployment groups nodes into
+*shards* (machines); edges internal to a shard are processed locally and
+only the cross-shard *boundary* edges need global coordination.  This
+module provides that decomposition for the shard-parallel execution paths
+of :mod:`repro.core.sample` and :mod:`repro.core.distributed_sparsify`:
+
+* vertices ``0..n-1`` are split into ``num_shards`` contiguous ranges;
+* an edge whose endpoints fall in the same range belongs to that shard;
+* all remaining edges are boundary edges.
+
+The sparsifier keeps boundary edges in the bundle outright (they are the
+inter-shard communication backbone, and keeping an edge exactly never
+hurts the spectral certificate), so each shard's spanner/sampling work
+touches only its own edge subset — which is what the execution backends
+(:mod:`repro.parallel.backends`) fan out.
+
+Shard subgraphs retain the full vertex set, so edge endpoints and spanner
+parameters (``k = ceil(log2 n)``) refer to the global graph without any
+relabelling bookkeeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["GraphShards", "partition_vertex_ranges", "shard_edges"]
+
+
+def partition_vertex_ranges(num_vertices: int, num_shards: int) -> np.ndarray:
+    """Boundaries of ``num_shards`` contiguous vertex ranges.
+
+    Returns an int64 array ``b`` of length ``num_shards + 1`` with
+    ``b[0] = 0`` and ``b[-1] = num_vertices``; shard ``s`` owns vertices
+    ``b[s] .. b[s+1] - 1``.  Ranges are balanced to within one vertex.
+    """
+    if num_shards < 1:
+        raise GraphError(f"num_shards must be >= 1, got {num_shards}")
+    if num_vertices < 0:
+        raise GraphError(f"num_vertices must be non-negative, got {num_vertices}")
+    shard_ids = np.arange(num_shards + 1, dtype=np.int64)
+    return (shard_ids * num_vertices) // num_shards
+
+
+@dataclass(frozen=True)
+class GraphShards:
+    """Edge decomposition of a graph into vertex-range shards.
+
+    Attributes
+    ----------
+    num_shards:
+        Number of shards requested.
+    boundaries:
+        Vertex-range boundaries from :func:`partition_vertex_ranges`.
+    shard_edge_indices:
+        Tuple of ``num_shards`` sorted int64 index arrays into the source
+        graph's edge arrays; entry ``s`` lists the edges internal to
+        shard ``s``.
+    boundary_edge_indices:
+        Sorted indices of the cross-shard edges.
+    """
+
+    num_shards: int
+    boundaries: np.ndarray
+    shard_edge_indices: Tuple[np.ndarray, ...]
+    boundary_edge_indices: np.ndarray
+
+    @property
+    def num_boundary_edges(self) -> int:
+        return int(self.boundary_edge_indices.shape[0])
+
+    @property
+    def shard_sizes(self) -> List[int]:
+        """Edges per shard (excluding boundary edges)."""
+        return [int(idx.shape[0]) for idx in self.shard_edge_indices]
+
+    def vertex_shard(self, vertices: np.ndarray) -> np.ndarray:
+        """Shard id owning each vertex in ``vertices``."""
+        return np.searchsorted(self.boundaries, np.asarray(vertices), side="right") - 1
+
+    def shard_subgraph(self, graph: Graph, shard: int) -> Graph:
+        """Shard ``shard``'s internal edges on the full vertex set."""
+        return graph.select_edges(self.shard_edge_indices[shard])
+
+
+def shard_edges(graph: Graph, num_shards: int) -> GraphShards:
+    """Decompose ``graph``'s edges into vertex-range shards.
+
+    Every edge lands in exactly one of the ``num_shards`` shard index
+    arrays or in the boundary array.  Shards with no internal edges are
+    represented by empty arrays (harmless; they simply produce no work).
+    """
+    boundaries = partition_vertex_ranges(graph.num_vertices, num_shards)
+    shard_of_u = np.searchsorted(boundaries, graph.edge_u, side="right") - 1
+    shard_of_v = np.searchsorted(boundaries, graph.edge_v, side="right") - 1
+    internal = shard_of_u == shard_of_v
+    shard_indices = tuple(
+        np.flatnonzero(internal & (shard_of_u == s)) for s in range(num_shards)
+    )
+    return GraphShards(
+        num_shards=num_shards,
+        boundaries=boundaries,
+        shard_edge_indices=shard_indices,
+        boundary_edge_indices=np.flatnonzero(~internal),
+    )

@@ -19,17 +19,36 @@ this subpackage provides the cost models themselves:
 * :mod:`repro.parallel.distributed` — an actual synchronous message-passing
   simulator: per-node programs exchange size-limited messages in lock-step
   rounds, and the simulator counts rounds/messages/sizes (Corollary 3);
-* :mod:`repro.parallel.scheduler` — an optional thread-pool executor for
-  running independent sub-tasks concurrently for real.
+* :mod:`repro.parallel.backends` — pluggable execution backends
+  (serial / thread / process) that actually run shard- and job-level
+  fan-outs concurrently, with a process-wide default registry;
+* :mod:`repro.parallel.scheduler` — the legacy thread-pool executor, now
+  a thin adapter over the backend layer (kept for API compatibility).
 """
 
-from repro.parallel.metrics import DistributedCost, PRAMCost, combine_parallel, combine_sequential
+from repro.parallel.metrics import (
+    DistributedCost,
+    PRAMCost,
+    combine_concurrent,
+    combine_parallel,
+    combine_sequential,
+)
 from repro.parallel.pram import PRAMTracker
 from repro.parallel.distributed import (
     DistributedSimulator,
     Message,
     NodeContext,
     NodeProgram,
+)
+from repro.parallel.backends import (
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
 )
 from repro.parallel.scheduler import ParallelExecutor
 
@@ -38,10 +57,19 @@ __all__ = [
     "DistributedCost",
     "combine_parallel",
     "combine_sequential",
+    "combine_concurrent",
     "PRAMTracker",
     "DistributedSimulator",
     "Message",
     "NodeContext",
     "NodeProgram",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
     "ParallelExecutor",
 ]

@@ -14,7 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable
 
-__all__ = ["PRAMCost", "DistributedCost", "combine_sequential", "combine_parallel"]
+__all__ = [
+    "PRAMCost",
+    "DistributedCost",
+    "combine_sequential",
+    "combine_parallel",
+    "combine_concurrent",
+]
 
 
 @dataclass(frozen=True)
@@ -75,6 +81,15 @@ class DistributedCost:
             max(self.max_message_words, other.max_message_words),
         )
 
+    def alongside(self, other: "DistributedCost") -> "DistributedCost":
+        """Concurrent composition: independent networks (shards) run in
+        lock-step, so rounds take the max while messages add."""
+        return DistributedCost(
+            max(self.rounds, other.rounds),
+            self.messages + other.messages,
+            max(self.max_message_words, other.max_message_words),
+        )
+
     def __add__(self, other: "DistributedCost") -> "DistributedCost":
         return self.then(other)
 
@@ -90,6 +105,14 @@ def combine_sequential(costs: Iterable[PRAMCost]) -> PRAMCost:
 def combine_parallel(costs: Iterable[PRAMCost]) -> PRAMCost:
     """Fold a sequence of PRAM costs executed simultaneously."""
     total = PRAMCost()
+    for cost in costs:
+        total = total.alongside(cost)
+    return total
+
+
+def combine_concurrent(costs: Iterable[DistributedCost]) -> DistributedCost:
+    """Fold distributed costs of shards executing concurrently."""
+    total = DistributedCost()
     for cost in costs:
         total = total.alongside(cost)
     return total

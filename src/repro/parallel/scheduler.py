@@ -1,26 +1,25 @@
-"""Optional thread-pool execution of independent sub-tasks.
+"""Thread-pool execution of independent sub-tasks (legacy adapter).
 
-The algorithms in this package are expressed as vectorised NumPy passes,
-so most of the heavy lifting already runs in optimised C.  A few stages are
-nevertheless embarrassingly parallel at the Python level — e.g. measuring
-quality on independent graphs in a parameter sweep, or running independent
-repetitions of a randomized algorithm.  :class:`ParallelExecutor` wraps
-``concurrent.futures.ThreadPoolExecutor`` with:
+.. deprecated::
+    :class:`ParallelExecutor` predates the pluggable execution-backend
+    layer and is kept only for API compatibility.  New code should use
+    :mod:`repro.parallel.backends` directly — ``get_backend("thread",
+    max_workers=...)`` gives the same thread-pool behaviour plus the
+    serial and process backends, a process-wide default registry, and the
+    shared-payload protocol used by the shard-parallel sparsifier paths.
 
-* a sequential fallback (``max_workers=1`` or ``enabled=False``) so tests
-  and benches can force determinism,
-* ordered results (same order as the inputs),
-* exception propagation (the first failure re-raises in the caller).
-
-Threads (not processes) are used because the workloads release the GIL in
-NumPy/SciPy kernels and because the in-memory ``Graph`` objects would be
-expensive to pickle across process boundaries.
+The class is now a thin adapter over those backends: ``max_workers=1`` or
+``enabled=False`` maps to :class:`repro.parallel.backends.SerialBackend`,
+anything else to :class:`repro.parallel.backends.ThreadBackend`.  Results
+keep their input order, and the first failure cancels all not-yet-started
+tasks before re-raising in the caller.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+from typing import Callable, List, Sequence, TypeVar
+
+from repro.parallel.backends import ExecutionBackend, SerialBackend, ThreadBackend
 
 __all__ = ["ParallelExecutor"]
 
@@ -51,21 +50,24 @@ class ParallelExecutor:
     def is_parallel(self) -> bool:
         return self.enabled and self.max_workers > 1
 
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend this adapter delegates to."""
+        if self.is_parallel:
+            return ThreadBackend(max_workers=self.max_workers)
+        return SerialBackend()
+
     def map(self, func: Callable[[T], R], items: Sequence[T]) -> List[R]:
         """Apply ``func`` to every item, preserving input order."""
         items = list(items)
         if not items:
             return []
-        if not self.is_parallel:
-            return [func(item) for item in items]
-        with concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-            futures = [pool.submit(func, item) for item in items]
-            return [future.result() for future in futures]
+        return self.backend.map(func, items)
 
     def starmap(self, func: Callable[..., R], argument_tuples: Sequence[tuple]) -> List[R]:
         """Apply ``func(*args)`` to every argument tuple, preserving order."""
-        return self.map(lambda args: func(*args), list(argument_tuples))
+        return self.backend.starmap(func, list(argument_tuples))
 
     def run_all(self, thunks: Sequence[Callable[[], R]]) -> List[R]:
         """Run a list of zero-argument callables, preserving order."""
-        return self.map(lambda thunk: thunk(), list(thunks))
+        return self.backend.run_all(list(thunks))

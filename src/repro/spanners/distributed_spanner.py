@@ -30,8 +30,8 @@ graph and the selected edge indices into it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -44,9 +44,14 @@ from repro.parallel.distributed import (
     NodeProgram,
 )
 from repro.parallel.metrics import DistributedCost
-from repro.utils.rng import SeedLike
+from repro.utils.rng import RandomState, SeedLike, as_rng, split_rng
 
-__all__ = ["DistributedSpannerResult", "distributed_baswana_sen_spanner"]
+__all__ = [
+    "DistributedSpannerResult",
+    "DistributedBundleResult",
+    "distributed_baswana_sen_spanner",
+    "distributed_bundle_spanner",
+]
 
 
 @dataclass
@@ -323,4 +328,109 @@ def distributed_baswana_sen_spanner(
         k=k,
         cost=result.cost,
         completed=result.completed,
+    )
+
+
+@dataclass
+class DistributedBundleResult:
+    """Outcome of peeling ``t`` distributed spanners off one graph/shard.
+
+    Attributes
+    ----------
+    edge_indices:
+        Sorted indices of all bundle edges into the input graph's edge
+        arrays (the input must be simple, e.g. a coalesced graph or a
+        shard subgraph of one).
+    component_edge_indices:
+        Per-component index arrays in construction order.
+    components_built:
+        Number of spanner protocols actually executed (smaller than the
+        requested ``t`` when the graph ran out of edges first).
+    cost:
+        Sequentially-composed rounds/messages across the components.
+    completed:
+        True when every component's protocol terminated within its round
+        limit.
+    """
+
+    edge_indices: np.ndarray
+    component_edge_indices: List[np.ndarray]
+    components_built: int
+    cost: DistributedCost
+    completed: bool
+
+
+def distributed_bundle_spanner(
+    graph: Graph,
+    t: int,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    component_seeds: Optional[List[RandomState]] = None,
+) -> DistributedBundleResult:
+    """Build a t-bundle by iterating the distributed Baswana–Sen protocol.
+
+    This is the per-shard unit of work of the distributed sparsifier:
+    component ``i`` runs the protocol on the graph with components
+    ``1..i-1`` peeled off, exactly as in the sequential bundle
+    construction, but with every round/message measured by the simulator.
+    The caller typically pre-splits ``component_seeds`` (one RNG stream
+    per component) before dispatching shards onto an execution backend so
+    the result is independent of where the work runs.
+
+    Parameters
+    ----------
+    graph:
+        Simple input graph (one edge per endpoint pair); shard subgraphs
+        of a coalesced graph qualify.  ``edge_indices`` refer to this
+        graph's edge arrays.
+    t:
+        Number of bundle components requested.
+    k:
+        Baswana–Sen parameter per component (default ``ceil(log2 n)``).
+    seed / component_seeds:
+        Either a single seed (split into ``t`` sub-streams here) or the
+        pre-split per-component streams; ``component_seeds`` wins.
+    """
+    if t < 1:
+        raise GraphError(f"bundle size t must be >= 1, got {t}")
+    if component_seeds is None:
+        component_seeds = split_rng(as_rng(seed), t)
+    if len(component_seeds) < t:
+        raise GraphError(
+            f"need {t} component seeds, got {len(component_seeds)}"
+        )
+
+    remaining = graph
+    remaining_to_original = np.arange(graph.num_edges, dtype=np.int64)
+    component_indices: List[np.ndarray] = []
+    total_cost = DistributedCost()
+    components_built = 0
+    completed = True
+
+    for i in range(t):
+        if remaining.num_edges == 0:
+            break
+        result = distributed_baswana_sen_spanner(
+            remaining, k=k, seed=component_seeds[i]
+        )
+        total_cost = total_cost + result.cost
+        completed = completed and result.completed
+        components_built += 1
+        component_indices.append(remaining_to_original[result.edge_indices])
+        keep_mask = np.ones(remaining.num_edges, dtype=bool)
+        keep_mask[result.edge_indices] = False
+        remaining = remaining.select_edges(keep_mask)
+        remaining_to_original = remaining_to_original[keep_mask]
+
+    if component_indices:
+        edge_indices = np.unique(np.concatenate(component_indices))
+    else:
+        edge_indices = np.array([], dtype=np.int64)
+
+    return DistributedBundleResult(
+        edge_indices=edge_indices,
+        component_edge_indices=component_indices,
+        components_built=components_built,
+        cost=total_cost,
+        completed=completed,
     )

@@ -1,0 +1,87 @@
+"""Tests for the batch sparsification API (repro.core.batch)."""
+
+import pytest
+
+from repro.core.batch import BatchSparsifyResult, sparsify_many
+from repro.core.config import SparsifierConfig
+from repro.core.sparsify import parallel_sparsify
+from repro.graphs import generators as gen
+from repro.parallel.metrics import combine_parallel
+from repro.utils.rng import as_rng, split_rng
+
+
+@pytest.fixture(scope="module")
+def graph_batch():
+    return [gen.erdos_renyi_graph(50, 0.2, seed=i, ensure_connected=True) for i in range(4)]
+
+
+def _edge_tuple(graph):
+    g = graph.coalesce()
+    return (g.edge_u.tolist(), g.edge_v.tolist(), g.edge_weights.tolist())
+
+
+class TestSparsifyMany:
+    def test_results_in_input_order(self, graph_batch):
+        result = sparsify_many(graph_batch, epsilon=0.5, rho=4, seed=1)
+        assert result.num_jobs == len(graph_batch)
+        for graph, job in zip(graph_batch, result.results):
+            assert job.input_edges == graph.num_edges
+            assert 0 < job.output_edges <= graph.num_edges
+
+    def test_matches_individual_runs_bit_exactly(self, graph_batch):
+        batch = sparsify_many(graph_batch, epsilon=0.5, rho=4, seed=42)
+        job_rngs = split_rng(as_rng(42), len(graph_batch))
+        for i, graph in enumerate(graph_batch):
+            solo = parallel_sparsify(graph, epsilon=0.5, rho=4, seed=job_rngs[i])
+            assert _edge_tuple(batch.results[i].sparsifier) == _edge_tuple(solo.sparsifier)
+
+    @pytest.mark.parametrize("backend,workers", [("thread", 4), ("process", 2)])
+    def test_backends_match_serial(self, graph_batch, backend, workers):
+        serial = sparsify_many(graph_batch, epsilon=0.5, rho=4, seed=7, backend="serial")
+        other = sparsify_many(
+            graph_batch, epsilon=0.5, rho=4, seed=7, backend=backend, max_workers=workers
+        )
+        assert other.backend_name == backend
+        for a, b in zip(serial.results, other.results):
+            assert _edge_tuple(a.sparsifier) == _edge_tuple(b.sparsifier)
+
+    def test_aggregate_cost_is_fork_join(self, graph_batch):
+        result = sparsify_many(graph_batch, epsilon=0.5, rho=4, seed=1)
+        expected = combine_parallel(r.cost for r in result.results)
+        assert result.cost.work == pytest.approx(expected.work)
+        assert result.cost.depth == pytest.approx(expected.depth)
+        # Fork/join: total work adds, depth is the max over jobs.
+        assert result.cost.work == pytest.approx(sum(r.cost.work for r in result.results))
+        assert result.cost.depth == pytest.approx(max(r.cost.depth for r in result.results))
+
+    def test_totals_and_reduction_factor(self, graph_batch):
+        result = sparsify_many(graph_batch, epsilon=0.5, rho=4, seed=1)
+        assert result.total_input_edges == sum(g.num_edges for g in graph_batch)
+        assert result.total_output_edges == sum(r.output_edges for r in result.results)
+        assert result.reduction_factor == pytest.approx(
+            result.total_input_edges / result.total_output_edges
+        )
+
+    def test_empty_batch(self):
+        result = sparsify_many([], epsilon=0.5, seed=0)
+        assert isinstance(result, BatchSparsifyResult)
+        assert result.num_jobs == 0
+        assert result.total_input_edges == 0
+        assert result.reduction_factor == 1.0
+
+    def test_config_backend_fields_are_used(self, graph_batch):
+        config = SparsifierConfig.practical(backend="thread", max_workers=2)
+        result = sparsify_many(graph_batch[:2], epsilon=0.5, rho=4, config=config, seed=3)
+        assert result.backend_name == "thread"
+        assert result.max_workers == 2
+
+    def test_jobs_with_sharded_config(self, graph_batch):
+        # num_shards flows into each job; the batch still matches solo runs.
+        config = SparsifierConfig.practical(bundle_t=2, num_shards=2)
+        batch = sparsify_many(graph_batch[:2], epsilon=0.5, rho=4, config=config, seed=9)
+        job_rngs = split_rng(as_rng(9), 2)
+        for i in range(2):
+            solo = parallel_sparsify(
+                graph_batch[i], epsilon=0.5, rho=4, config=config, seed=job_rngs[i]
+            )
+            assert _edge_tuple(batch.results[i].sparsifier) == _edge_tuple(solo.sparsifier)

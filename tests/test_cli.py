@@ -29,6 +29,25 @@ class TestParser:
         assert args.rho == 4.0
         assert args.mode == "practical"
         assert not args.tree_bundle
+        assert args.backend is None
+        assert args.workers is None
+        assert args.shards == 1
+
+    def test_sparsify_execution_flags(self):
+        args = build_parser().parse_args(
+            ["sparsify", "in.txt", "out.txt", "--backend", "thread", "--workers", "4", "--shards", "8"]
+        )
+        assert args.backend == "thread"
+        assert args.workers == 4
+        assert args.shards == 8
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sparsify", "a", "b", "--backend", "quantum"])
+
+    def test_batch_requires_output_dir(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["batch", "a.txt", "b.txt"])
 
     def test_spanner_defaults(self):
         args = build_parser().parse_args(["spanner", "in.txt", "out.txt"])
@@ -74,6 +93,63 @@ class TestSparsifyCommand:
         ])
         assert code == 0
         assert read_edge_list(out_path).num_edges <= graph.num_edges
+
+
+class TestBatchCommand:
+    def test_batch_writes_every_sparsifier(self, tmp_path, capsys):
+        inputs = []
+        originals = []
+        for i in range(3):
+            graph = gen.erdos_renyi_graph(50, 0.2, seed=i, ensure_connected=True)
+            path = tmp_path / f"g{i}.txt"
+            write_edge_list(graph, path)
+            inputs.append(str(path))
+            originals.append(graph)
+        out_dir = tmp_path / "out"
+        code = main([
+            "batch", *inputs, "--output-dir", str(out_dir),
+            "--bundle-t", "2", "--seed", "4", "--backend", "thread", "--workers", "2",
+        ])
+        assert code == 0
+        for i, graph in enumerate(originals):
+            sparse = read_edge_list(out_dir / f"g{i}.sparsified.txt")
+            assert sparse.num_vertices == graph.num_vertices
+            assert 0 < sparse.num_edges <= graph.num_edges
+        out = capsys.readouterr().out
+        assert "backend=thread" in out
+        assert "total :" in out
+
+    def test_batch_disambiguates_equal_stems(self, tmp_path):
+        graph = gen.erdos_renyi_graph(40, 0.25, seed=0, ensure_connected=True)
+        paths = []
+        for sub in ("a", "b"):
+            (tmp_path / sub).mkdir()
+            path = tmp_path / sub / "graph.txt"
+            write_edge_list(graph, path)
+            paths.append(str(path))
+        out_dir = tmp_path / "out"
+        # A third input whose stem already looks like a numbered duplicate
+        # must not collide with the generated names either.
+        tricky = tmp_path / "graph-1.txt"
+        write_edge_list(graph, tricky)
+        paths.append(str(tricky))
+        code = main(["batch", *paths, "--output-dir", str(out_dir), "--bundle-t", "1", "--seed", "2"])
+        assert code == 0
+        assert (out_dir / "graph.sparsified.txt").exists()
+        assert (out_dir / "graph-1.sparsified.txt").exists()
+        assert (out_dir / "graph-1-1.sparsified.txt").exists()
+
+    def test_batch_sharded_run(self, tmp_path):
+        graph = gen.grid_graph(8, 8)
+        path = tmp_path / "grid.txt"
+        write_edge_list(graph, path)
+        out_dir = tmp_path / "out"
+        code = main([
+            "batch", str(path), "--output-dir", str(out_dir),
+            "--bundle-t", "2", "--shards", "4", "--seed", "1",
+        ])
+        assert code == 0
+        assert read_edge_list(out_dir / "grid.sparsified.txt").num_edges > 0
 
 
 class TestSpannerCommand:

@@ -1,11 +1,14 @@
 """Tests for repro.parallel: cost records, PRAM tracker, executor."""
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.parallel.metrics import (
     DistributedCost,
     PRAMCost,
+    combine_concurrent,
     combine_parallel,
     combine_sequential,
 )
@@ -61,6 +64,21 @@ class TestDistributedCost:
     def test_default_zero(self):
         zero = DistributedCost()
         assert (zero + zero).rounds == 0
+
+    def test_concurrent_composition(self):
+        a = DistributedCost(rounds=3, messages=100, max_message_words=4)
+        b = DistributedCost(rounds=7, messages=50, max_message_words=8)
+        c = a.alongside(b)
+        assert c.rounds == 7          # concurrent networks: max rounds
+        assert c.messages == 150      # messages always add
+        assert c.max_message_words == 8
+
+    def test_combine_concurrent_folds(self):
+        costs = [DistributedCost(rounds=r, messages=10) for r in (2, 9, 4)]
+        total = combine_concurrent(costs)
+        assert total.rounds == 9
+        assert total.messages == 30
+        assert combine_concurrent([]).rounds == 0
 
 
 class TestPRAMTracker:
@@ -197,3 +215,28 @@ class TestParallelExecutor:
         seq = ParallelExecutor(max_workers=1).map(np.sum, arrays)
         par = ParallelExecutor(max_workers=4).map(np.sum, arrays)
         assert np.allclose(seq, par)
+
+    def test_first_error_cancels_pending_tasks(self):
+        # Failing first item, slow tail items, one worker: without
+        # fail-fast cancellation every tail item would still run during
+        # pool shutdown; with it only already-dequeued items may finish.
+        executed = []
+
+        def job(x):
+            if x == 0:
+                raise RuntimeError("fail first")
+            time.sleep(0.02)
+            executed.append(x)
+            return x
+
+        ex = ParallelExecutor(max_workers=2)
+        with pytest.raises(RuntimeError, match="fail first"):
+            ex.map(job, list(range(30)))
+        assert len(executed) < 29
+
+    def test_delegates_to_backend_layer(self):
+        from repro.parallel.backends import SerialBackend, ThreadBackend
+
+        assert isinstance(ParallelExecutor(max_workers=1).backend, SerialBackend)
+        assert isinstance(ParallelExecutor(max_workers=3).backend, ThreadBackend)
+        assert isinstance(ParallelExecutor(max_workers=3, enabled=False).backend, SerialBackend)

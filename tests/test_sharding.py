@@ -1,0 +1,87 @@
+"""Tests for vertex-range edge sharding (repro.graphs.sharding)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.graphs.sharding import partition_vertex_ranges, shard_edges
+
+
+class TestPartitionVertexRanges:
+    def test_covers_all_vertices(self):
+        b = partition_vertex_ranges(100, 8)
+        assert b[0] == 0 and b[-1] == 100
+        assert np.all(np.diff(b) >= 0)
+
+    def test_balanced_within_one(self):
+        b = partition_vertex_ranges(103, 8)
+        sizes = np.diff(b)
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_single_shard(self):
+        assert partition_vertex_ranges(10, 1).tolist() == [0, 10]
+
+    def test_more_shards_than_vertices(self):
+        b = partition_vertex_ranges(3, 8)
+        assert b[0] == 0 and b[-1] == 3
+        assert len(b) == 9
+
+    def test_invalid_num_shards(self):
+        with pytest.raises(GraphError):
+            partition_vertex_ranges(10, 0)
+
+
+class TestShardEdges:
+    @pytest.fixture(scope="class")
+    def grid(self):
+        return gen.grid_graph(10, 10)
+
+    def test_every_edge_exactly_once(self, grid):
+        shards = shard_edges(grid, 4)
+        parts = list(shards.shard_edge_indices) + [shards.boundary_edge_indices]
+        combined = np.sort(np.concatenate(parts))
+        assert combined.tolist() == list(range(grid.num_edges))
+
+    def test_shard_edges_stay_in_vertex_range(self, grid):
+        shards = shard_edges(grid, 4)
+        for s, idx in enumerate(shards.shard_edge_indices):
+            lo, hi = shards.boundaries[s], shards.boundaries[s + 1]
+            assert np.all((grid.edge_u[idx] >= lo) & (grid.edge_u[idx] < hi))
+            assert np.all((grid.edge_v[idx] >= lo) & (grid.edge_v[idx] < hi))
+
+    def test_boundary_edges_cross_ranges(self, grid):
+        shards = shard_edges(grid, 4)
+        vu = shards.vertex_shard(grid.edge_u[shards.boundary_edge_indices])
+        vv = shards.vertex_shard(grid.edge_v[shards.boundary_edge_indices])
+        assert np.all(vu != vv)
+
+    def test_grid_has_few_boundary_edges(self, grid):
+        # Row-major grids have locality: a 4-way vertex-range split cuts
+        # only the rows between bands.
+        shards = shard_edges(grid, 4)
+        assert shards.num_boundary_edges < grid.num_edges // 4
+
+    def test_single_shard_has_no_boundary(self, grid):
+        shards = shard_edges(grid, 1)
+        assert shards.num_boundary_edges == 0
+        assert shards.shard_edge_indices[0].shape[0] == grid.num_edges
+
+    def test_shard_subgraph(self, grid):
+        shards = shard_edges(grid, 4)
+        sub = shards.shard_subgraph(grid, 0)
+        assert sub.num_vertices == grid.num_vertices
+        assert sub.num_edges == shards.shard_sizes[0]
+
+    def test_empty_graph(self):
+        shards = shard_edges(Graph(0), 3)
+        assert shards.num_boundary_edges == 0
+        assert all(size == 0 for size in shards.shard_sizes)
+
+    def test_more_shards_than_vertices_gives_empty_shards(self):
+        g = Graph(3, [0, 1], [1, 2], [1.0, 1.0])
+        shards = shard_edges(g, 8)
+        # Every vertex is alone in its range, so every edge is boundary.
+        assert shards.num_boundary_edges == 2
+        assert sum(shards.shard_sizes) == 0

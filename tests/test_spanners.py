@@ -285,3 +285,48 @@ class TestVerificationAndRepair:
     def test_repair_with_full_spanner(self, triangle_graph):
         repaired = repair_spanner(triangle_graph, np.arange(3), 1.0)
         assert np.array_equal(repaired, np.arange(3))
+
+
+class TestDistributedBundleSpanner:
+    """The per-shard unit of work of the distributed sparsifier."""
+
+    def test_components_are_edge_disjoint(self, small_er_graph):
+        from repro.spanners.distributed_spanner import distributed_bundle_spanner
+
+        result = distributed_bundle_spanner(small_er_graph.coalesce(), t=3, seed=1)
+        assert result.components_built == 3
+        seen = np.concatenate(result.component_edge_indices)
+        assert seen.shape[0] == np.unique(seen).shape[0]
+        assert np.array_equal(result.edge_indices, np.unique(seen))
+        assert result.completed
+        assert result.cost.rounds > 0
+
+    def test_pre_split_seeds_match_single_seed(self, small_er_graph):
+        from repro.spanners.distributed_spanner import distributed_bundle_spanner
+        from repro.utils.rng import as_rng, split_rng
+
+        simple = small_er_graph.coalesce()
+        by_seed = distributed_bundle_spanner(simple, t=2, seed=5)
+        by_streams = distributed_bundle_spanner(
+            simple, t=2, component_seeds=split_rng(as_rng(5), 2)
+        )
+        assert np.array_equal(by_seed.edge_indices, by_streams.edge_indices)
+
+    def test_rejects_bad_t_and_short_seed_list(self, small_er_graph):
+        from repro.spanners.distributed_spanner import distributed_bundle_spanner
+        from repro.utils.rng import as_rng, split_rng
+
+        simple = small_er_graph.coalesce()
+        with pytest.raises(GraphError):
+            distributed_bundle_spanner(simple, t=0)
+        with pytest.raises(GraphError):
+            distributed_bundle_spanner(simple, t=3, component_seeds=split_rng(as_rng(0), 2))
+
+    def test_exhausts_small_graph(self):
+        from repro.spanners.distributed_spanner import distributed_bundle_spanner
+
+        path = gen.path_graph(12)
+        result = distributed_bundle_spanner(path, t=4, seed=0)
+        # A tree is its own spanner: one component absorbs everything.
+        assert result.components_built == 1
+        assert result.edge_indices.shape[0] == path.num_edges
