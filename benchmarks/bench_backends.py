@@ -37,6 +37,7 @@ from repro.analysis.reporting import ExperimentTable
 from repro.core.config import SparsifierConfig
 from repro.core.distributed_sparsify import distributed_parallel_sparsify
 from repro.core.sparsify import parallel_sparsify
+from repro.graphs.generators import banded_graph
 from repro.graphs.graph import Graph
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_backends.json"
@@ -49,15 +50,6 @@ BACKEND_CONFIGS = [
     ("thread", 4),
     ("process", 4),
 ]
-
-
-def banded_graph(n: int, band: int) -> Graph:
-    """Vertex ``u`` joined to ``u+1 .. u+band``: dense with perfect locality."""
-    offsets = np.arange(1, band + 1)
-    u = np.repeat(np.arange(n, dtype=np.int64), band)
-    v = u + np.tile(offsets, n)
-    mask = v < n
-    return Graph(n, u[mask], v[mask], np.ones(int(mask.sum())))
 
 
 def _usable_cpus() -> int:

@@ -184,15 +184,18 @@ def _shard_bundle_and_sample_worker(
         return {"bundle": empty, "kept": empty, "outside": 0, "cost": PRAMCost(), "components": 0}
 
     tracker = PRAMTracker()
-    sub = graph.select_edges(idx)
+    # Trusted view of the shard's edges: the t-round peel inside
+    # ``t_bundle_spanner`` then runs entirely on raw arrays, and a real
+    # ``Graph`` is materialised only where graph semantics are needed.
+    sub = graph.edge_subset(idx)
     if config.use_tree_bundle:
-        bundle = tree_bundle(sub, t=t, seed=bundle_rng, tracker=tracker)
+        bundle = tree_bundle(sub.materialize(), t=t, seed=bundle_rng, tracker=tracker)
     else:
         bundle = t_bundle_spanner(sub, t=t, k=config.spanner_k, seed=bundle_rng, tracker=tracker)
     local_bundle = bundle.edge_indices
     if config.certify_stretch and bundle.component_edge_indices:
         stretch_target = 2.0 * np.log2(max(graph.num_vertices, 2))
-        local_bundle = repair_spanner(sub, local_bundle, stretch_target)
+        local_bundle = repair_spanner(sub.materialize(), local_bundle, stretch_target)
 
     kept, outside = sample_nonbundle_edges(
         idx, local_bundle, sample_rng, config.sampling_probability

@@ -6,6 +6,7 @@ the package (spanners, sparsifiers, solvers) operates on this type.
 """
 
 from repro.graphs.graph import Graph
+from repro.graphs.views import EdgeSubset
 from repro.graphs.laplacian import (
     edge_laplacian,
     incidence_matrix,
@@ -37,6 +38,7 @@ __all__ = [
     "partition_vertex_ranges",
     "shard_edges",
     "Graph",
+    "EdgeSubset",
     "edge_laplacian",
     "incidence_matrix",
     "is_laplacian",

@@ -144,6 +144,32 @@ class Graph:
         """Graph with ``num_vertices`` vertices and no edges."""
         return cls(num_vertices)
 
+    @classmethod
+    def _from_trusted(
+        cls, num_vertices: int, u: np.ndarray, v: np.ndarray, w: np.ndarray
+    ) -> "Graph":
+        """Validation-free constructor for arrays with known-good invariants.
+
+        Callers must guarantee what ``__init__`` normally enforces: int64
+        endpoint arrays already oriented ``u < v`` and in range, float64
+        positive finite weights, all three of equal length.  Every edge
+        transformation below that merely permutes/slices/concatenates
+        already-validated arrays funnels through here, as does
+        :meth:`repro.graphs.views.EdgeSubset.materialize` — this is what
+        makes bundle peeling free of per-round validation passes.
+        """
+        graph = cls.__new__(cls)
+        graph._n = num_vertices
+        graph._u = np.ascontiguousarray(u, dtype=np.int64)
+        graph._v = np.ascontiguousarray(v, dtype=np.int64)
+        graph._w = np.ascontiguousarray(w, dtype=np.float64)
+        graph._u.setflags(write=False)
+        graph._v.setflags(write=False)
+        graph._w.setflags(write=False)
+        graph._adj_cache = None
+        graph._lap_cache = None
+        return graph
+
     # ------------------------------------------------------------------ #
     # Basic accessors
     # ------------------------------------------------------------------ #
@@ -306,14 +332,32 @@ class Graph:
     # ------------------------------------------------------------------ #
 
     def select_edges(self, mask_or_index: np.ndarray) -> "Graph":
-        """Graph keeping only edges selected by a boolean mask or index array."""
+        """Graph keeping only edges selected by a boolean mask or index array.
+
+        The selected arrays inherit this graph's invariants, so the result
+        is built through :meth:`_from_trusted` with no re-validation.
+        """
         idx = np.asarray(mask_or_index)
         if idx.dtype == bool:
             if idx.shape[0] != self.num_edges:
                 raise GraphError(
                     f"edge mask must have length {self.num_edges}, got {idx.shape[0]}"
                 )
-        return Graph(self._n, self._u[idx], self._v[idx], self._w[idx])
+        return Graph._from_trusted(self._n, self._u[idx], self._v[idx], self._w[idx])
+
+    def edge_subset(self, mask_or_index: Optional[np.ndarray] = None) -> "EdgeSubset":
+        """Trusted :class:`~repro.graphs.views.EdgeSubset` view of this graph.
+
+        With no argument the view covers every edge (sharing this graph's
+        arrays); otherwise it is restricted to the given mask/index array.
+        Iterative peeling code uses these views to avoid rebuilding a
+        validated ``Graph`` per round.
+        """
+        from repro.graphs.views import EdgeSubset
+
+        if mask_or_index is None:
+            return EdgeSubset.full(self)
+        return EdgeSubset.from_indices(self, mask_or_index)
 
     def remove_edges(self, mask: np.ndarray) -> "Graph":
         """Graph with the edges flagged ``True`` in ``mask`` removed."""
@@ -332,7 +376,7 @@ class Graph:
         """Graph ``factor * G`` (all weights multiplied by ``factor > 0``)."""
         if factor <= 0 or not np.isfinite(factor):
             raise GraphError(f"scale factor must be positive and finite, got {factor}")
-        return Graph(self._n, self._u, self._v, self._w * float(factor))
+        return Graph._from_trusted(self._n, self._u, self._v, self._w * float(factor))
 
     def coalesce(self) -> "Graph":
         """Merge parallel edges by summing weights; result is a simple graph."""
@@ -349,7 +393,7 @@ class Graph:
         np.add.at(summed, group_ids, w_sorted)
         new_u = unique_keys // self._n
         new_v = unique_keys % self._n
-        return Graph(self._n, new_u, new_v, summed)
+        return Graph._from_trusted(self._n, new_u, new_v, summed)
 
     def union(self, other: "Graph") -> "Graph":
         """Edge-disjoint union ``G1 + G2`` (multigraph concatenation of edges)."""
@@ -358,7 +402,7 @@ class Graph:
                 "graphs must share a vertex set: "
                 f"{self._n} vs {other.num_vertices} vertices"
             )
-        return Graph(
+        return Graph._from_trusted(
             self._n,
             np.concatenate([self._u, other.edge_u]),
             np.concatenate([self._v, other.edge_v]),

@@ -1,0 +1,171 @@
+"""Validation-free edge-subset views for iterative peeling algorithms.
+
+The bundle constructions (:mod:`repro.spanners.bundle`,
+:mod:`repro.spanners.distributed_spanner`) and the sharded sampling path
+(:mod:`repro.core.sample`) repeatedly restrict a graph to a subset of its
+edges: ``t`` peel rounds per bundle, one restriction per shard.  Building
+a full :class:`~repro.graphs.graph.Graph` for every restriction re-runs
+endpoint/weight validation and orientation normalisation on arrays that
+are already known-good — pure overhead on the hot path.
+
+:class:`EdgeSubset` is the trusted alternative: a lightweight view over a
+parent graph's ``(u, v, w)`` arrays plus an index map back to the parent.
+Restrictions compose (``subset.select_edges(...)`` returns another view
+whose index map points at the *original* parent), no validation ever
+runs, and a real ``Graph`` is materialised — via the validation-skipping
+:meth:`Graph._from_trusted` constructor — only when a caller actually
+needs graph semantics (Laplacians, coalescing, verification).
+
+The view quacks like a ``Graph`` for the array-level API the spanner hot
+path uses (``num_vertices``/``num_edges``/``edge_u``/``edge_v``/
+``edge_weights``/``select_edges``), so the bundle code can peel either
+representation with the same lines of code.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+
+__all__ = ["EdgeSubset"]
+
+
+class EdgeSubset:
+    """Trusted view of a subset of a parent graph's edges.
+
+    Instances are created through :meth:`full`, :meth:`from_indices`, or
+    :meth:`Graph.edge_subset` — never by validating raw user arrays.  The
+    invariants (``u < v``, in-range endpoints, positive finite weights)
+    are inherited from the parent graph, which already enforced them.
+
+    Attributes are read-only NumPy arrays; like ``Graph`` itself, a view
+    never mutates edge data in place.
+    """
+
+    __slots__ = ("_parent", "_indices", "_u", "_v", "_w")
+
+    def __init__(
+        self,
+        parent: Graph,
+        indices: np.ndarray,
+        u: np.ndarray,
+        v: np.ndarray,
+        w: np.ndarray,
+    ) -> None:
+        self._parent = parent
+        self._indices = indices
+        self._u = u
+        self._v = v
+        self._w = w
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def full(cls, graph: Graph) -> "EdgeSubset":
+        """View of every edge of ``graph`` (shares its arrays, no copies)."""
+        indices = np.arange(graph.num_edges, dtype=np.int64)
+        return cls(graph, indices, graph.edge_u, graph.edge_v, graph.edge_weights)
+
+    @classmethod
+    def from_indices(cls, graph: Graph, indices: np.ndarray) -> "EdgeSubset":
+        """View of ``graph`` restricted to ``indices`` (mask or index array).
+
+        Built in O(selection) — no full-graph index map is allocated, so
+        per-shard views of a large parent stay proportional to the shard.
+        """
+        idx = np.asarray(indices)
+        if idx.dtype == bool:
+            if idx.shape[0] != graph.num_edges:
+                raise GraphError(
+                    f"edge mask must have length {graph.num_edges}, got {idx.shape[0]}"
+                )
+            idx = np.flatnonzero(idx)
+        else:
+            idx = idx.astype(np.int64, copy=False)
+        return cls(
+            graph, idx, graph.edge_u[idx], graph.edge_v[idx], graph.edge_weights[idx]
+        )
+
+    # ------------------------------------------------------------------ #
+    # Graph-shaped accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def parent(self) -> Graph:
+        """The graph whose edge arrays this view restricts."""
+        return self._parent
+
+    @property
+    def parent_indices(self) -> np.ndarray:
+        """Index of each view edge in the parent graph's edge arrays."""
+        return self._indices
+
+    @property
+    def num_vertices(self) -> int:
+        return self._parent.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._indices.shape[0])
+
+    @property
+    def edge_u(self) -> np.ndarray:
+        return self._u
+
+    @property
+    def edge_v(self) -> np.ndarray:
+        return self._v
+
+    @property
+    def edge_weights(self) -> np.ndarray:
+        return self._w
+
+    # ------------------------------------------------------------------ #
+    # Restriction and materialisation
+    # ------------------------------------------------------------------ #
+
+    def select_edges(self, mask_or_index: np.ndarray) -> "EdgeSubset":
+        """Restrict further; the result still maps back to the original parent."""
+        idx = np.asarray(mask_or_index)
+        if idx.dtype == bool and idx.shape[0] != self.num_edges:
+            raise GraphError(
+                f"edge mask must have length {self.num_edges}, got {idx.shape[0]}"
+            )
+        return EdgeSubset(
+            self._parent, self._indices[idx], self._u[idx], self._v[idx], self._w[idx]
+        )
+
+    def remove_edges(self, mask: np.ndarray) -> "EdgeSubset":
+        """View with the edges flagged ``True`` removed."""
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape[0] != self.num_edges:
+            raise GraphError(
+                f"edge mask must have length {self.num_edges}, got {mask.shape[0]}"
+            )
+        return self.select_edges(~mask)
+
+    def to_parent_indices(self, local_indices: np.ndarray) -> np.ndarray:
+        """Translate view-local edge indices into parent edge indices."""
+        return self._indices[np.asarray(local_indices)]
+
+    def materialize(self, weights: Optional[np.ndarray] = None) -> Graph:
+        """Realise the view as a :class:`Graph` without re-validation.
+
+        ``weights`` optionally overrides the edge weights (same length as
+        the view); callers passing it are trusted to supply positive
+        finite values, matching the ``_from_trusted`` contract.
+        """
+        w = self._w if weights is None else np.asarray(weights, dtype=np.float64)
+        return Graph._from_trusted(self.num_vertices, self._u, self._v, w)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EdgeSubset(n={self.num_vertices}, m={self.num_edges}, "
+            f"parent_m={self._parent.num_edges})"
+        )

@@ -1,0 +1,277 @@
+"""Pre-vectorization reference Baswana–Sen / t-bundle implementations.
+
+This module preserves, verbatim, the seed implementation that the
+vectorized hot path in :mod:`repro.spanners.baswana_sen` and the
+zero-copy peeling in :mod:`repro.spanners.bundle` replaced:
+
+* ``reference_baswana_sen_spanner`` — the per-vertex Python loop over
+  group boundaries (one interpreted iteration per (vertex, cluster)
+  group) and the ``np.isin``-based covered-edge removal;
+* ``reference_t_bundle_spanner`` — the peel loop that rebuilt and
+  re-validated a full :class:`Graph` every round.
+
+It exists for two reasons:
+
+1. the golden tests (``tests/test_spanner_golden.py``) assert that the
+   optimized implementations select *bit-identical* edge sets, and
+2. ``benchmarks/bench_spanner.py`` times seed-vs-optimized on one
+   checkout so the speedup numbers in ``BENCH_spanner.json`` are
+   reproducible.
+
+Do not optimize this module; its slowness is the point.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import Graph
+from repro.parallel.pram import PRAMTracker
+from repro.spanners.baswana_sen import SpannerResult
+from repro.spanners.bundle import BundleResult
+from repro.utils.rng import SeedLike, as_rng, split_rng
+
+__all__ = ["reference_baswana_sen_spanner", "reference_t_bundle_spanner"]
+
+
+def _lightest_per_group(
+    group_a: np.ndarray, group_b: np.ndarray, lengths: np.ndarray, payload: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """For each (a, b) group return the row of minimum length."""
+    if group_a.size == 0:
+        empty = np.array([], dtype=np.int64)
+        return empty, empty, np.array([]), empty
+    order = np.lexsort((lengths, group_b, group_a))
+    a_sorted = group_a[order]
+    b_sorted = group_b[order]
+    first = np.concatenate(
+        [[True], (a_sorted[1:] != a_sorted[:-1]) | (b_sorted[1:] != b_sorted[:-1])]
+    )
+    sel = order[first]
+    return group_a[sel], group_b[sel], lengths[sel], payload[sel]
+
+
+def reference_baswana_sen_spanner(
+    graph: Graph,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    tracker: Optional[PRAMTracker] = None,
+) -> SpannerResult:
+    """Seed implementation of :func:`repro.spanners.baswana_sen.baswana_sen_spanner`."""
+    n = graph.num_vertices
+    m = graph.num_edges
+    if k is None:
+        k = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    if k < 1:
+        raise GraphError(f"spanner parameter k must be >= 1, got {k}")
+    rng = as_rng(seed)
+    tracker = tracker if tracker is not None else PRAMTracker()
+
+    if m == 0 or n <= 1:
+        return SpannerResult(
+            spanner=Graph(n),
+            edge_indices=np.array([], dtype=np.int64),
+            stretch_target=float(2 * k - 1),
+            k=k,
+            cost=tracker.total,
+        )
+
+    edge_u = graph.edge_u.copy()
+    edge_v = graph.edge_v.copy()
+    lengths = 1.0 / graph.edge_weights  # resistive metric
+    edge_idx = np.arange(m, dtype=np.int64)
+
+    cluster = np.arange(n, dtype=np.int64)
+    sample_probability = float(n) ** (-1.0 / k) if n > 1 else 1.0
+
+    chosen: List[np.ndarray] = []
+
+    for _iteration in range(k - 1):
+        if edge_idx.size == 0:
+            break
+        active_centers = np.unique(cluster[cluster >= 0])
+        sampled_flags = rng.random(active_centers.shape[0]) < sample_probability
+        center_sampled = np.zeros(n, dtype=bool)
+        center_sampled[active_centers[sampled_flags]] = True
+        tracker.charge_parallel_for(active_centers.shape[0], label="spanner/sample-clusters")
+        tracker.charge_parallel_for(n, label="spanner/propagate-sampling")
+
+        in_sampled = np.zeros(n, dtype=bool)
+        clustered = cluster >= 0
+        in_sampled[clustered] = center_sampled[cluster[clustered]]
+
+        du = np.concatenate([edge_u, edge_v])
+        dv = np.concatenate([edge_v, edge_u])
+        dlen = np.concatenate([lengths, lengths])
+        didx = np.concatenate([edge_idx, edge_idx])
+        head_cluster = cluster[dv]
+        valid = head_cluster >= 0
+        du, dv, dlen, didx, head_cluster = (
+            du[valid], dv[valid], dlen[valid], didx[valid], head_cluster[valid]
+        )
+        acting = ~in_sampled[du]
+        du, dv, dlen, didx, head_cluster = (
+            du[acting], dv[acting], dlen[acting], didx[acting], head_cluster[acting]
+        )
+        tracker.charge_parallel_for(2 * edge_idx.size, label="spanner/scan-edges")
+
+        if du.size == 0:
+            cluster = np.where(in_sampled, cluster, -1)
+            continue
+
+        grp_v, grp_c, grp_len, grp_edge = _lightest_per_group(du, head_cluster, dlen, didx)
+        tracker.charge_reduction(du.size, label="spanner/group-min")
+
+        new_cluster = np.where(in_sampled, cluster, -1)
+        removal_pairs_v: List[np.ndarray] = []
+        removal_pairs_c: List[np.ndarray] = []
+        iteration_edges: List[np.ndarray] = []
+
+        boundaries = np.concatenate(
+            [[0], np.flatnonzero(grp_v[1:] != grp_v[:-1]) + 1, [grp_v.size]]
+        )
+        for start, stop in zip(boundaries[:-1], boundaries[1:]):
+            vertex = int(grp_v[start])
+            clusters_here = grp_c[start:stop]
+            lens_here = grp_len[start:stop]
+            edges_here = grp_edge[start:stop]
+            sampled_mask = center_sampled[clusters_here]
+            if not sampled_mask.any():
+                iteration_edges.append(edges_here)
+                removal_pairs_v.append(np.full(clusters_here.shape[0], vertex, dtype=np.int64))
+                removal_pairs_c.append(clusters_here)
+                new_cluster[vertex] = -1
+            else:
+                sampled_positions = np.flatnonzero(sampled_mask)
+                best_pos = sampled_positions[np.argmin(lens_here[sampled_positions])]
+                best_len = lens_here[best_pos]
+                target_center = int(clusters_here[best_pos])
+                new_cluster[vertex] = target_center
+                lighter = lens_here < best_len
+                keep_positions = np.flatnonzero(lighter)
+                keep_positions = np.concatenate([keep_positions, [best_pos]])
+                iteration_edges.append(edges_here[keep_positions])
+                drop_clusters = np.concatenate([clusters_here[lighter], [target_center]])
+                removal_pairs_v.append(np.full(drop_clusters.shape[0], vertex, dtype=np.int64))
+                removal_pairs_c.append(drop_clusters.astype(np.int64))
+        tracker.charge_reduction(grp_v.size, label="spanner/vertex-decisions")
+
+        if iteration_edges:
+            chosen.append(np.concatenate(iteration_edges))
+
+        if removal_pairs_v:
+            rem_v = np.concatenate(removal_pairs_v)
+            rem_c = np.concatenate(removal_pairs_c)
+            removal_keys = np.unique(rem_v * np.int64(n) + rem_c)
+        else:
+            removal_keys = np.array([], dtype=np.int64)
+
+        old_cluster_u = cluster[edge_u]
+        old_cluster_v = cluster[edge_v]
+        key_uv = np.where(
+            old_cluster_v >= 0, edge_u * np.int64(n) + old_cluster_v, np.int64(-1)
+        )
+        key_vu = np.where(
+            old_cluster_u >= 0, edge_v * np.int64(n) + old_cluster_u, np.int64(-1)
+        )
+        removed = np.isin(key_uv, removal_keys) | np.isin(key_vu, removal_keys)
+        same_new_cluster = (
+            (new_cluster[edge_u] >= 0) & (new_cluster[edge_u] == new_cluster[edge_v])
+        )
+        keep = ~(removed | same_new_cluster)
+        tracker.charge_parallel_for(edge_idx.size, label="spanner/remove-covered")
+
+        edge_u, edge_v, lengths, edge_idx = (
+            edge_u[keep], edge_v[keep], lengths[keep], edge_idx[keep]
+        )
+        cluster = new_cluster
+
+    if edge_idx.size:
+        du = np.concatenate([edge_u, edge_v])
+        dv = np.concatenate([edge_v, edge_u])
+        dlen = np.concatenate([lengths, lengths])
+        didx = np.concatenate([edge_idx, edge_idx])
+        head_cluster = cluster[dv]
+        valid = head_cluster >= 0
+        du, dlen, didx, head_cluster = du[valid], dlen[valid], didx[valid], head_cluster[valid]
+        if du.size:
+            _, _, _, phase2_edges = _lightest_per_group(du, head_cluster, dlen, didx)
+            chosen.append(phase2_edges)
+        tracker.charge_reduction(max(du.size, 1), label="spanner/phase2")
+
+    if chosen:
+        selected = np.unique(np.concatenate(chosen))
+    else:
+        selected = np.array([], dtype=np.int64)
+
+    spanner = graph.select_edges(selected)
+    return SpannerResult(
+        spanner=spanner,
+        edge_indices=selected,
+        stretch_target=float(2 * k - 1),
+        k=k,
+        cost=tracker.total,
+    )
+
+
+def reference_t_bundle_spanner(
+    graph: Graph,
+    t: int,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    tracker: Optional[PRAMTracker] = None,
+    stop_when_exhausted: bool = True,
+) -> BundleResult:
+    """Seed implementation of :func:`repro.spanners.bundle.t_bundle_spanner`."""
+    if t < 1:
+        raise GraphError(f"bundle size t must be >= 1, got {t}")
+    tracker = tracker if tracker is not None else PRAMTracker()
+    rng = as_rng(seed)
+    component_rngs = split_rng(rng, t)
+
+    remaining = graph
+    remaining_to_original = np.arange(graph.num_edges, dtype=np.int64)
+    component_indices: List[np.ndarray] = []
+    built = 0
+    exhausted = False
+
+    for i in range(t):
+        if remaining.num_edges == 0:
+            exhausted = True
+            if stop_when_exhausted:
+                break
+            component_indices.append(np.array([], dtype=np.int64))
+            built += 1
+            continue
+        result: SpannerResult = reference_baswana_sen_spanner(
+            remaining, k=k, seed=component_rngs[i], tracker=tracker
+        )
+        original_ids = remaining_to_original[result.edge_indices]
+        component_indices.append(np.sort(original_ids))
+        built += 1
+        keep_mask = np.ones(remaining.num_edges, dtype=bool)
+        keep_mask[result.edge_indices] = False
+        remaining = remaining.select_edges(keep_mask)
+        remaining_to_original = remaining_to_original[keep_mask]
+        tracker.charge_parallel_for(keep_mask.shape[0], label="bundle/peel-edges")
+
+    if remaining.num_edges == 0:
+        exhausted = True
+
+    if component_indices:
+        all_indices = np.unique(np.concatenate(component_indices))
+    else:
+        all_indices = np.array([], dtype=np.int64)
+    bundle = graph.select_edges(all_indices)
+    return BundleResult(
+        bundle=bundle,
+        edge_indices=all_indices,
+        component_edge_indices=component_indices,
+        t=built,
+        requested_t=t,
+        exhausted=exhausted,
+        cost=tracker.total,
+    )

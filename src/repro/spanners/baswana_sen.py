@@ -30,22 +30,33 @@ The per-iteration clustering logic follows Baswana–Sen phase 1/phase 2:
    "covered" by these additions are discarded from the working edge set.
 2. Phase 2 joins every vertex to each cluster of the final clustering that
    remains adjacent to it through one lightest edge.
+
+Every per-vertex decision is a *segmented reduction* over the (vertex,
+cluster) groups produced by one lexsort — ``np.minimum.reduceat`` /
+``np.logical_or.reduceat`` over group boundaries — so one clustering
+iteration is a small constant number of flat NumPy passes with no Python
+loop over vertices.  The pre-vectorization implementation is preserved in
+:mod:`repro.spanners._reference` for golden tests and benchmarking; both
+select bit-identical edge sets for a fixed seed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import Graph
+from repro.graphs.views import EdgeSubset
 from repro.parallel.metrics import PRAMCost
 from repro.parallel.pram import PRAMTracker
-from repro.utils.rng import SeedLike, as_rng
+from repro.utils.rng import RandomState, SeedLike, as_rng
 
 __all__ = ["SpannerResult", "baswana_sen_spanner"]
+
+GraphLike = Union[Graph, EdgeSubset]
 
 
 @dataclass
@@ -64,7 +75,9 @@ class SpannerResult:
     k:
         The Baswana–Sen parameter used.
     cost:
-        PRAM work/depth charged while building the spanner.
+        PRAM work/depth charged while building the spanner.  When a shared
+        tracker is passed in, this is the *delta* charged by this call
+        alone, so per-component costs sum correctly.
     """
 
     spanner: Graph
@@ -80,7 +93,9 @@ def _lightest_per_group(
     """For each (a, b) group return the row of minimum length.
 
     Returns arrays (a, b, min_length, payload_at_min) with one entry per
-    distinct (a, b) pair, sorted lexicographically by (a, b).
+    distinct (a, b) pair, sorted lexicographically by (a, b).  Ties on
+    length resolve to the earliest input row (lexsort is stable), which is
+    the tie-breaking order the golden tests pin down.
     """
     if group_a.size == 0:
         empty = np.array([], dtype=np.int64)
@@ -95,54 +110,41 @@ def _lightest_per_group(
     return group_a[sel], group_b[sel], lengths[sel], payload[sel]
 
 
-def baswana_sen_spanner(
-    graph: Graph,
-    k: Optional[int] = None,
-    seed: SeedLike = None,
-    tracker: Optional[PRAMTracker] = None,
-) -> SpannerResult:
-    """Compute a (2k-1)-spanner of ``graph`` in the resistive metric.
+def _sorted_membership(sorted_keys: np.ndarray, keys: np.ndarray) -> np.ndarray:
+    """Membership mask of ``keys`` in the sorted unique array ``sorted_keys``.
 
-    Parameters
-    ----------
-    graph:
-        Weighted input graph.  Parallel edges are allowed; each is treated
-        independently (only one of a parallel class can enter the spanner).
-    k:
-        Number of clustering levels; defaults to ``ceil(log2 n)`` which
-        yields the paper's log n-spanner with expected ``O(n log n)`` edges.
-    seed:
-        RNG seed controlling cluster sampling.
-    tracker:
-        Optional :class:`PRAMTracker` to charge; a fresh one is used (and
-        returned inside the result) if omitted.
-
-    Returns
-    -------
-    SpannerResult
+    Two binary searches replace the ``np.isin`` sort-per-call: O(|keys|
+    log |sorted_keys|) with no temporary sort of the haystack.
     """
-    n = graph.num_vertices
-    m = graph.num_edges
-    if k is None:
-        k = max(1, int(np.ceil(np.log2(max(n, 2)))))
-    if k < 1:
-        raise GraphError(f"spanner parameter k must be >= 1, got {k}")
-    rng = as_rng(seed)
-    tracker = tracker if tracker is not None else PRAMTracker()
+    if sorted_keys.size == 0:
+        return np.zeros(keys.shape[0], dtype=bool)
+    pos = np.searchsorted(sorted_keys, keys)
+    inside = pos < sorted_keys.size
+    out = np.zeros(keys.shape[0], dtype=bool)
+    out[inside] = sorted_keys[pos[inside]] == keys[inside]
+    return out
 
-    if m == 0 or n <= 1:
-        return SpannerResult(
-            spanner=Graph(n),
-            edge_indices=np.array([], dtype=np.int64),
-            stretch_target=float(2 * k - 1),
-            k=k,
-            cost=tracker.total,
-        )
 
-    # Working edge set E': arrays over remaining edges.
-    edge_u = graph.edge_u.copy()
-    edge_v = graph.edge_v.copy()
-    lengths = 1.0 / graph.edge_weights  # resistive metric
+def _spanner_select(
+    n: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    weights: np.ndarray,
+    k: int,
+    rng: RandomState,
+    tracker: PRAMTracker,
+) -> np.ndarray:
+    """Core Baswana–Sen edge selection on raw arrays.
+
+    Returns the sorted unique local indices (into ``edge_u``/``edge_v``)
+    of the spanner edges.  This is the function the bundle peel loop calls
+    directly, so ``t`` rounds never materialise an intermediate ``Graph``.
+    """
+    # The working arrays are only ever re-bound to fancy-indexed slices,
+    # never mutated in place, so the caller's (possibly read-only) arrays
+    # are used as-is.
+    lengths = 1.0 / weights  # resistive metric
+    m = edge_u.shape[0]
     edge_idx = np.arange(m, dtype=np.int64)
 
     # cluster[v] = centre vertex id, or -1 once v leaves the clustering.
@@ -174,14 +176,11 @@ def baswana_sen_spanner(
         dlen = np.concatenate([lengths, lengths])
         didx = np.concatenate([edge_idx, edge_idx])
         head_cluster = cluster[dv]
-        valid = head_cluster >= 0
-        du, dv, dlen, didx, head_cluster = (
-            du[valid], dv[valid], dlen[valid], didx[valid], head_cluster[valid]
-        )
-        # Only vertices outside sampled clusters act this iteration.
-        acting = ~in_sampled[du]
-        du, dv, dlen, didx, head_cluster = (
-            du[acting], dv[acting], dlen[acting], didx[acting], head_cluster[acting]
+        # Only clustered heads count, and only vertices outside sampled
+        # clusters act this iteration.
+        valid = (head_cluster >= 0) & ~in_sampled[du]
+        du, dlen, didx, head_cluster = (
+            du[valid], dlen[valid], didx[valid], head_cluster[valid]
         )
         tracker.charge_parallel_for(2 * edge_idx.size, label="spanner/scan-edges")
 
@@ -194,61 +193,52 @@ def baswana_sen_spanner(
         # PRAM: grouping/minimum per (v, c) pair is a segmented reduction.
         tracker.charge_reduction(du.size, label="spanner/group-min")
 
-        # --- per-vertex decisions -------------------------------------------
+        # --- per-vertex decisions (segmented reductions) --------------------
+        # grp_* arrays are sorted by (vertex, cluster); one segment per
+        # acting vertex.  Case (a) — no adjacent sampled cluster — keeps
+        # every segment entry; case (b) keeps the strictly lighter entries
+        # plus the lightest sampled one (first on ties, matching argmin
+        # over the lexsorted segment).  The removal (vertex, cluster) pairs
+        # coincide with the kept entries in both cases.
         new_cluster = np.where(in_sampled, cluster, -1)
-        removal_pairs_v: List[np.ndarray] = []
-        removal_pairs_c: List[np.ndarray] = []
-        iteration_edges: List[np.ndarray] = []
 
-        boundaries = np.concatenate(
-            [[0], np.flatnonzero(grp_v[1:] != grp_v[:-1]) + 1, [grp_v.size]]
+        num_entries = grp_v.size
+        seg_starts = np.concatenate([[0], np.flatnonzero(grp_v[1:] != grp_v[:-1]) + 1])
+        seg_lengths = np.diff(np.append(seg_starts, num_entries))
+        seg_of = np.repeat(np.arange(seg_starts.size, dtype=np.int64), seg_lengths)
+
+        entry_sampled = center_sampled[grp_c]
+        seg_any_sampled = np.logical_or.reduceat(entry_sampled, seg_starts)
+        masked_len = np.where(entry_sampled, grp_len, np.inf)
+        seg_best_len = np.minimum.reduceat(masked_len, seg_starts)
+        positions = np.arange(num_entries, dtype=np.int64)
+        at_best = masked_len == seg_best_len[seg_of]
+        seg_best_pos = np.minimum.reduceat(
+            np.where(at_best, positions, num_entries), seg_starts
         )
-        for start, stop in zip(boundaries[:-1], boundaries[1:]):
-            vertex = int(grp_v[start])
-            clusters_here = grp_c[start:stop]
-            lens_here = grp_len[start:stop]
-            edges_here = grp_edge[start:stop]
-            sampled_mask = center_sampled[clusters_here]
-            if not sampled_mask.any():
-                # Case (a): no adjacent sampled cluster.  Add the lightest
-                # edge to every adjacent cluster, drop all edges to them,
-                # and leave the clustering.
-                iteration_edges.append(edges_here)
-                removal_pairs_v.append(np.full(clusters_here.shape[0], vertex, dtype=np.int64))
-                removal_pairs_c.append(clusters_here)
-                new_cluster[vertex] = -1
-            else:
-                # Case (b): join the sampled cluster with the lightest edge.
-                sampled_positions = np.flatnonzero(sampled_mask)
-                best_pos = sampled_positions[np.argmin(lens_here[sampled_positions])]
-                best_len = lens_here[best_pos]
-                target_center = int(clusters_here[best_pos])
-                new_cluster[vertex] = target_center
-                # Lighter neighbouring clusters also contribute one edge each.
-                lighter = lens_here < best_len
-                keep_positions = np.flatnonzero(lighter)
-                keep_positions = np.concatenate([keep_positions, [best_pos]])
-                iteration_edges.append(edges_here[keep_positions])
-                drop_clusters = np.concatenate([clusters_here[lighter], [target_center]])
-                removal_pairs_v.append(np.full(drop_clusters.shape[0], vertex, dtype=np.int64))
-                removal_pairs_c.append(drop_clusters.astype(np.int64))
+
+        seg_vertices = grp_v[seg_starts]
+        case_b = seg_any_sampled
+        new_cluster[seg_vertices[~case_b]] = -1
+        new_cluster[seg_vertices[case_b]] = grp_c[seg_best_pos[case_b]]
+
+        keep_entry = (
+            ~case_b[seg_of]
+            | (grp_len < seg_best_len[seg_of])
+            | (positions == seg_best_pos[seg_of])
+        )
         # PRAM: decisions are per-vertex constant-depth selections (with a
         # log-depth min over the vertex's adjacent clusters).
-        tracker.charge_reduction(grp_v.size, label="spanner/vertex-decisions")
+        tracker.charge_reduction(num_entries, label="spanner/vertex-decisions")
 
-        if iteration_edges:
-            chosen.append(np.concatenate(iteration_edges))
+        chosen.append(grp_edge[keep_entry])
 
         # --- remove covered edges -------------------------------------------
         # An edge (x, y) is removed if the pair (x, cluster_old(y)) or
         # (y, cluster_old(x)) was scheduled for removal, or if both endpoints
-        # now share a cluster (it is covered inside that cluster).
-        if removal_pairs_v:
-            rem_v = np.concatenate(removal_pairs_v)
-            rem_c = np.concatenate(removal_pairs_c)
-            removal_keys = np.unique(rem_v * np.int64(n) + rem_c)
-        else:
-            removal_keys = np.array([], dtype=np.int64)
+        # now share a cluster (it is covered inside that cluster).  The
+        # removal pairs are exactly the kept (vertex, cluster) entries.
+        removal_keys = np.unique(grp_v[keep_entry] * np.int64(n) + grp_c[keep_entry])
 
         old_cluster_u = cluster[edge_u]
         old_cluster_v = cluster[edge_v]
@@ -258,7 +248,9 @@ def baswana_sen_spanner(
         key_vu = np.where(
             old_cluster_u >= 0, edge_v * np.int64(n) + old_cluster_u, np.int64(-1)
         )
-        removed = np.isin(key_uv, removal_keys) | np.isin(key_vu, removal_keys)
+        removed = _sorted_membership(removal_keys, key_uv) | _sorted_membership(
+            removal_keys, key_vu
+        )
         same_new_cluster = (
             (new_cluster[edge_u] >= 0) & (new_cluster[edge_u] == new_cluster[edge_v])
         )
@@ -287,15 +279,78 @@ def baswana_sen_spanner(
         tracker.charge_reduction(max(du.size, 1), label="spanner/phase2")
 
     if chosen:
-        selected = np.unique(np.concatenate(chosen))
-    else:
-        selected = np.array([], dtype=np.int64)
+        return np.unique(np.concatenate(chosen))
+    return np.array([], dtype=np.int64)
 
-    spanner = graph.select_edges(selected)
+
+def _materialize_selection(graph: GraphLike, indices: np.ndarray) -> Graph:
+    """Selected subgraph as a real :class:`Graph` (views materialise once)."""
+    sub = graph.select_edges(indices)
+    return sub if isinstance(sub, Graph) else sub.materialize()
+
+
+def _cost_delta(tracker: PRAMTracker, before: PRAMCost) -> PRAMCost:
+    """Cost charged to ``tracker`` since ``before`` was snapshotted."""
+    after = tracker.total
+    return PRAMCost(after.work - before.work, after.depth - before.depth)
+
+
+def baswana_sen_spanner(
+    graph: GraphLike,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    tracker: Optional[PRAMTracker] = None,
+) -> SpannerResult:
+    """Compute a (2k-1)-spanner of ``graph`` in the resistive metric.
+
+    Parameters
+    ----------
+    graph:
+        Weighted input graph, or a trusted :class:`EdgeSubset` view (the
+        bundle/shard pipelines peel on views so no intermediate ``Graph``
+        is validated).  Parallel edges are allowed; each is treated
+        independently (only one of a parallel class can enter the spanner).
+    k:
+        Number of clustering levels; defaults to ``ceil(log2 n)`` which
+        yields the paper's log n-spanner with expected ``O(n log n)`` edges.
+    seed:
+        RNG seed controlling cluster sampling.
+    tracker:
+        Optional :class:`PRAMTracker` to charge; a fresh one is used if
+        omitted.  The result's ``cost`` is always the delta charged by
+        this call, so costs of successive calls on a shared tracker sum
+        to the tracker total.
+
+    Returns
+    -------
+    SpannerResult
+    """
+    n = graph.num_vertices
+    m = graph.num_edges
+    if k is None:
+        k = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    if k < 1:
+        raise GraphError(f"spanner parameter k must be >= 1, got {k}")
+    rng = as_rng(seed)
+    tracker = tracker if tracker is not None else PRAMTracker()
+    before = tracker.total
+
+    if m == 0 or n <= 1:
+        return SpannerResult(
+            spanner=Graph(n),
+            edge_indices=np.array([], dtype=np.int64),
+            stretch_target=float(2 * k - 1),
+            k=k,
+            cost=_cost_delta(tracker, before),
+        )
+
+    selected = _spanner_select(
+        n, graph.edge_u, graph.edge_v, graph.edge_weights, k, rng, tracker
+    )
     return SpannerResult(
-        spanner=spanner,
+        spanner=_materialize_selection(graph, selected),
         edge_indices=selected,
         stretch_target=float(2 * k - 1),
         k=k,
-        cost=tracker.total,
+        cost=_cost_delta(tracker, before),
     )

@@ -12,6 +12,13 @@ edges.
 The key consequence (Lemma 1 / Corollary 1): every edge of ``G`` outside
 the bundle has ``t`` edge-disjoint certified short paths, hence leverage
 score at most ``~log n / t``.
+
+The peel loop operates directly on the working ``(u, v, w, index)``
+arrays: each round calls the raw-array spanner core
+(:func:`repro.spanners.baswana_sen._spanner_select`) and slices the
+arrays down by a boolean mask.  No intermediate :class:`Graph` is
+constructed or validated during the ``t`` rounds; the bundle subgraph is
+materialised exactly once at the end.
 """
 
 from __future__ import annotations
@@ -25,7 +32,12 @@ from repro.exceptions import GraphError
 from repro.graphs.graph import Graph
 from repro.parallel.metrics import PRAMCost
 from repro.parallel.pram import PRAMTracker
-from repro.spanners.baswana_sen import SpannerResult, baswana_sen_spanner
+from repro.spanners.baswana_sen import (
+    GraphLike,
+    _cost_delta,
+    _materialize_selection,
+    _spanner_select,
+)
 from repro.utils.rng import SeedLike, as_rng, split_rng
 
 __all__ = ["BundleResult", "t_bundle_spanner", "bundle_size_for_epsilon", "bundle_for_epsilon"]
@@ -53,6 +65,8 @@ class BundleResult:
         graph is empty, so sampling has nothing left to do).
     cost:
         Total PRAM work/depth of all component spanner constructions.
+        With a shared tracker this is the delta charged by this call, so
+        per-bundle costs sum correctly across calls.
     """
 
     bundle: Graph
@@ -82,7 +96,7 @@ def bundle_size_for_epsilon(num_vertices: int, epsilon: float, constant: float =
 
 
 def t_bundle_spanner(
-    graph: Graph,
+    graph: GraphLike,
     t: int,
     k: Optional[int] = None,
     seed: SeedLike = None,
@@ -94,7 +108,9 @@ def t_bundle_spanner(
     Parameters
     ----------
     graph:
-        Input weighted graph.
+        Input weighted graph, or a trusted :class:`~repro.graphs.views.EdgeSubset`
+        view of one (the sharded sampling path peels shard views directly).
+        ``edge_indices`` are relative to the given graph/view.
     t:
         Number of edge-disjoint spanner components requested.
     k:
@@ -116,45 +132,67 @@ def t_bundle_spanner(
     if t < 1:
         raise GraphError(f"bundle size t must be >= 1, got {t}")
     tracker = tracker if tracker is not None else PRAMTracker()
+    before = tracker.total
     rng = as_rng(seed)
     component_rngs = split_rng(rng, t)
 
-    remaining = graph
-    # Map from "remaining graph" edge positions to original edge indices.
-    remaining_to_original = np.arange(graph.num_edges, dtype=np.int64)
+    n = graph.num_vertices
+    if k is None:
+        k_eff = max(1, int(np.ceil(np.log2(max(n, 2)))))
+    else:
+        k_eff = k
+    if k_eff < 1:
+        raise GraphError(f"spanner parameter k must be >= 1, got {k_eff}")
+
+    # Working edge arrays; ``cur_idx`` maps positions back to the input.
+    cur_u = np.asarray(graph.edge_u)
+    cur_v = np.asarray(graph.edge_v)
+    cur_w = np.asarray(graph.edge_weights)
+    cur_idx = np.arange(graph.num_edges, dtype=np.int64)
     component_indices: List[np.ndarray] = []
     built = 0
     exhausted = False
 
     for i in range(t):
-        if remaining.num_edges == 0:
+        if cur_idx.size == 0:
             exhausted = True
             if stop_when_exhausted:
                 break
             component_indices.append(np.array([], dtype=np.int64))
             built += 1
             continue
-        result: SpannerResult = baswana_sen_spanner(
-            remaining, k=k, seed=component_rngs[i], tracker=tracker
-        )
-        original_ids = remaining_to_original[result.edge_indices]
-        component_indices.append(np.sort(original_ids))
+        local = _spanner_select(n, cur_u, cur_v, cur_w, k_eff, component_rngs[i], tracker)
+        component_indices.append(np.sort(cur_idx[local]))
         built += 1
-        # Peel the spanner's edges off the remaining graph.
-        keep_mask = np.ones(remaining.num_edges, dtype=bool)
-        keep_mask[result.edge_indices] = False
-        remaining = remaining.select_edges(keep_mask)
-        remaining_to_original = remaining_to_original[keep_mask]
+        if local.size == cur_idx.size:
+            exhausted = True
+            if stop_when_exhausted:
+                break
+            cur_u = cur_u[:0]
+            cur_v = cur_v[:0]
+            cur_w = cur_w[:0]
+            cur_idx = cur_idx[:0]
+            continue
+        if i == t - 1:
+            # Final round: the peeled remainder is never used (``local`` is
+            # a strict subset here, so the bundle did not exhaust the graph).
+            break
+        keep_mask = np.ones(cur_idx.size, dtype=bool)
+        keep_mask[local] = False
+        cur_u = cur_u[keep_mask]
+        cur_v = cur_v[keep_mask]
+        cur_w = cur_w[keep_mask]
+        cur_idx = cur_idx[keep_mask]
         tracker.charge_parallel_for(keep_mask.shape[0], label="bundle/peel-edges")
 
-    if remaining.num_edges == 0:
-        exhausted = True
-
     if component_indices:
+        num_chosen = int(sum(c.shape[0] for c in component_indices))
         all_indices = np.unique(np.concatenate(component_indices))
+        # One sort-based dedup assembles the bundle from its components.
+        tracker.charge_reduction(max(num_chosen, 1), label="bundle/assemble")
     else:
         all_indices = np.array([], dtype=np.int64)
-    bundle = graph.select_edges(all_indices)
+    bundle = _materialize_selection(graph, all_indices)
     return BundleResult(
         bundle=bundle,
         edge_indices=all_indices,
@@ -162,7 +200,7 @@ def t_bundle_spanner(
         t=built,
         requested_t=t,
         exhausted=exhausted,
-        cost=tracker.total,
+        cost=_cost_delta(tracker, before),
     )
 
 

@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import Graph
+from repro.graphs.views import EdgeSubset
 from repro.parallel.distributed import (
     DistributedSimulator,
     Message,
@@ -44,6 +45,7 @@ from repro.parallel.distributed import (
     NodeProgram,
 )
 from repro.parallel.metrics import DistributedCost
+from repro.spanners.baswana_sen import _sorted_membership
 from repro.utils.rng import RandomState, SeedLike, as_rng, split_rng
 
 __all__ = [
@@ -316,7 +318,9 @@ def distributed_baswana_sen_spanner(
     if pairs:
         pair_array = np.asarray(sorted(pairs), dtype=np.int64)
         wanted_keys = pair_array[:, 0] * np.int64(n) + pair_array[:, 1]
-        edge_indices = np.flatnonzero(np.isin(simple.edge_keys(), wanted_keys))
+        edge_indices = np.flatnonzero(
+            _sorted_membership(wanted_keys, simple.edge_keys())
+        )
     else:
         edge_indices = np.array([], dtype=np.int64)
 
@@ -400,8 +404,10 @@ def distributed_bundle_spanner(
             f"need {t} component seeds, got {len(component_seeds)}"
         )
 
-    remaining = graph
-    remaining_to_original = np.arange(graph.num_edges, dtype=np.int64)
+    # Peel on a trusted view: the per-round restriction never re-validates
+    # the edge arrays, and the simulator input materialises zero-copy.
+    remaining = EdgeSubset.full(graph)
+    n = graph.num_vertices
     component_indices: List[np.ndarray] = []
     total_cost = DistributedCost()
     components_built = 0
@@ -411,16 +417,19 @@ def distributed_bundle_spanner(
         if remaining.num_edges == 0:
             break
         result = distributed_baswana_sen_spanner(
-            remaining, k=k, seed=component_seeds[i]
+            remaining.materialize(), k=k, seed=component_seeds[i]
         )
         total_cost = total_cost + result.cost
         completed = completed and result.completed
         components_built += 1
-        component_indices.append(remaining_to_original[result.edge_indices])
-        keep_mask = np.ones(remaining.num_edges, dtype=bool)
-        keep_mask[result.edge_indices] = False
-        remaining = remaining.select_edges(keep_mask)
-        remaining_to_original = remaining_to_original[keep_mask]
+        # ``result.edge_indices`` refer to ``result.simple_graph`` (the
+        # coalesced, key-sorted view the protocol ran on), which need not
+        # share ``remaining``'s edge order — translate through edge keys.
+        selected_keys = result.simple_graph.edge_keys()[result.edge_indices]
+        remaining_keys = remaining.edge_u * np.int64(n) + remaining.edge_v
+        in_spanner = _sorted_membership(selected_keys, remaining_keys)
+        component_indices.append(remaining.parent_indices[in_spanner])
+        remaining = remaining.select_edges(~in_spanner)
 
     if component_indices:
         edge_indices = np.unique(np.concatenate(component_indices))

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import Graph
+from repro.graphs.views import EdgeSubset
 from repro.parallel.pram import PRAMTracker
 from repro.spanners.bundle import BundleResult
 from repro.utils.rng import SeedLike, as_rng, split_rng
@@ -147,8 +148,10 @@ def tree_bundle(
     rng = as_rng(seed)
     component_rngs = split_rng(rng, t)
 
-    remaining = graph
-    remaining_to_original = np.arange(graph.num_edges, dtype=np.int64)
+    # Peel on a trusted view (no per-round Graph validation); the tree
+    # routine itself needs graph semantics, so each round materialises
+    # zero-copy via the trusted constructor.
+    remaining = EdgeSubset.full(graph)
     component_indices: List[np.ndarray] = []
     built = 0
     exhausted = False
@@ -157,15 +160,13 @@ def tree_bundle(
         if remaining.num_edges == 0:
             exhausted = True
             break
-        local_indices = low_stretch_tree(remaining, seed=component_rngs[i])
+        local_indices = low_stretch_tree(remaining.materialize(), seed=component_rngs[i])
         tracker.charge_reduction(max(remaining.num_edges, 1), label="tree-bundle/dijkstra")
-        original_ids = remaining_to_original[local_indices]
-        component_indices.append(np.sort(original_ids))
+        component_indices.append(np.sort(remaining.to_parent_indices(local_indices)))
         built += 1
         keep_mask = np.ones(remaining.num_edges, dtype=bool)
         keep_mask[local_indices] = False
         remaining = remaining.select_edges(keep_mask)
-        remaining_to_original = remaining_to_original[keep_mask]
 
     if remaining.num_edges == 0:
         exhausted = True

@@ -1,0 +1,68 @@
+"""Generate golden spanner/bundle outputs for the vectorization refactor.
+
+Freezes the exact edge selections of the pre-vectorization (seed)
+implementation — preserved verbatim in ``repro.spanners._reference`` —
+so the golden tests can detect any behavioural drift of the vectorized
+implementation.  Regeneration therefore always re-derives from the seed
+code, never from the optimized code under test:
+
+    PYTHONPATH=src python tests/golden/generate_goldens.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.graphs import generators as gen
+from repro.graphs.generators import banded_graph
+from repro.spanners._reference import (
+    reference_baswana_sen_spanner,
+    reference_t_bundle_spanner,
+)
+
+OUT = Path(__file__).resolve().parent / "spanner_goldens.json"
+
+
+def cases() -> list:
+    """(name, graph, seed, k, t) combinations — ≥6 scenario-diverse combos."""
+    return [
+        ("banded-120-b6", banded_graph(120, 6), 11, None, 4),
+        ("grid-10x10", gen.grid_graph(10, 10), 7, 3, 3),
+        ("powerlaw-150-a3", gen.barabasi_albert_graph(150, 3, seed=5), 23, None, 4),
+        (
+            "er-100-weighted",
+            gen.erdos_renyi_graph(
+                100, 0.15, seed=3, weight_range=(0.5, 4.0), ensure_connected=True
+            ),
+            42,
+            4,
+            3,
+        ),
+        ("cycle-50", gen.cycle_graph(50), 2, None, 2),
+        ("er-80-dense", gen.erdos_renyi_graph(80, 0.3, seed=9, ensure_connected=True), 17, 2, 5),
+        ("banded-200-b4-k5", banded_graph(200, 4), 101, 5, 8),
+    ]
+
+
+def main() -> None:
+    goldens = {}
+    for name, graph, seed, k, t in cases():
+        spanner = reference_baswana_sen_spanner(graph, k=k, seed=seed)
+        bundle = reference_t_bundle_spanner(graph, t=t, k=k, seed=seed)
+        goldens[name] = {
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "seed": seed,
+            "k": k,
+            "t": t,
+            "spanner_edge_indices": spanner.edge_indices.tolist(),
+            "bundle_edge_indices": bundle.edge_indices.tolist(),
+            "bundle_components": [c.tolist() for c in bundle.component_edge_indices],
+        }
+    OUT.write_text(json.dumps(goldens, indent=1) + "\n")
+    print(f"wrote {OUT} ({len(goldens)} cases)")
+
+
+if __name__ == "__main__":
+    main()

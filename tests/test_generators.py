@@ -125,6 +125,27 @@ class TestRandomGenerators:
         with pytest.raises(GraphError):
             gen.random_regular_graph(5, 5)
 
+    def test_banded_graph_structure(self):
+        g = gen.banded_graph(10, 3)
+        # Each vertex u joins u+1..u+3 where in range: 9 + 8 + 7 edges.
+        assert g.num_edges == 24
+        assert np.all(g.edge_v - g.edge_u <= 3)
+        assert np.all(g.edge_weights == 1.0)
+
+    def test_banded_graph_weighted_reproducible(self):
+        a = gen.banded_graph(20, 2, weight_range=(0.5, 2.0), seed=7)
+        b = gen.banded_graph(20, 2, weight_range=(0.5, 2.0), seed=7)
+        assert np.array_equal(a.edge_weights, b.edge_weights)
+        assert np.all((a.edge_weights >= 0.5) & (a.edge_weights <= 2.0))
+
+    def test_banded_graph_rejects_bad_params(self):
+        with pytest.raises(GraphError):
+            gen.banded_graph(0, 2)
+        with pytest.raises(GraphError):
+            gen.banded_graph(5, 0)
+        with pytest.raises(GraphError):
+            gen.banded_graph(5, 2, weight_range=(0.0, 1.0))
+
     def test_barabasi_albert_size(self):
         g = gen.barabasi_albert_graph(60, 3, seed=4)
         assert g.num_vertices == 60

@@ -1,0 +1,190 @@
+"""Golden-output tests for the vectorized spanner/bundle hot path.
+
+The segmented-reduction Baswana–Sen and the zero-copy bundle peel must
+select *bit-identical* edge sets to the seed implementation for every
+fixed seed.  Two independent guards:
+
+* ``tests/golden/spanner_goldens.json`` — edge selections frozen from the
+  seed code before the refactor (regenerable via
+  ``tests/golden/generate_goldens.py``);
+* ``repro.spanners._reference`` — the seed implementation preserved
+  verbatim, compared live on the same inputs.
+
+Plus the structural guarantee the refactor exists for: zero validated
+``Graph`` constructions inside the t-round peel loop.
+"""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.parallel.pram import PRAMTracker
+from repro.spanners._reference import (
+    reference_baswana_sen_spanner,
+    reference_t_bundle_spanner,
+)
+from repro.spanners.baswana_sen import baswana_sen_spanner
+from repro.spanners.bundle import t_bundle_spanner
+
+from repro.graphs.generators import banded_graph
+
+GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "spanner_goldens.json"
+
+
+@pytest.fixture(scope="module")
+def golden_cases():
+    """Rebuild the exact graphs the goldens were generated from (once)."""
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "spanner_golden_generator", GOLDEN_PATH.parent / "generate_goldens.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.cases()
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestGoldenOutputs:
+    """Vectorized implementations vs. selections frozen from the seed code."""
+
+    @pytest.mark.parametrize("case_index", range(7))
+    def test_spanner_matches_golden(self, goldens, golden_cases, case_index):
+        name, graph, seed, k, _t = golden_cases[case_index]
+        result = baswana_sen_spanner(graph, k=k, seed=seed)
+        expected = np.array(goldens[name]["spanner_edge_indices"], dtype=np.int64)
+        assert np.array_equal(result.edge_indices, expected)
+
+    @pytest.mark.parametrize("case_index", range(7))
+    def test_bundle_matches_golden(self, goldens, golden_cases, case_index):
+        name, graph, seed, k, t = golden_cases[case_index]
+        result = t_bundle_spanner(graph, t=t, k=k, seed=seed)
+        expected = np.array(goldens[name]["bundle_edge_indices"], dtype=np.int64)
+        assert np.array_equal(result.edge_indices, expected)
+        expected_components = goldens[name]["bundle_components"]
+        assert len(result.component_edge_indices) == len(expected_components)
+        for got, want in zip(result.component_edge_indices, expected_components):
+            assert np.array_equal(got, np.array(want, dtype=np.int64))
+
+
+class TestAgainstReference:
+    """Vectorized implementations vs. the preserved seed implementation, live."""
+
+    @pytest.mark.parametrize("seed", [0, 13, 99])
+    def test_spanner_bit_identical_er(self, seed):
+        g = gen.erdos_renyi_graph(
+            90, 0.2, seed=seed, weight_range=(0.5, 3.0), ensure_connected=True
+        )
+        fast = baswana_sen_spanner(g, seed=seed + 1)
+        slow = reference_baswana_sen_spanner(g, seed=seed + 1)
+        assert np.array_equal(fast.edge_indices, slow.edge_indices)
+
+    @pytest.mark.parametrize("seed", [3, 21])
+    def test_bundle_bit_identical_banded(self, seed):
+        g = banded_graph(150, 5)
+        fast = t_bundle_spanner(g, t=4, seed=seed)
+        slow = reference_t_bundle_spanner(g, t=4, seed=seed)
+        assert np.array_equal(fast.edge_indices, slow.edge_indices)
+        assert fast.t == slow.t
+        assert fast.exhausted == slow.exhausted
+        for a, b in zip(fast.component_edge_indices, slow.component_edge_indices):
+            assert np.array_equal(a, b)
+
+    def test_bundle_bit_identical_powerlaw_exhaustion(self):
+        # Sparse power-law graph: the bundle exhausts it, exercising the
+        # early-stop paths of both implementations.
+        g = gen.barabasi_albert_graph(80, 2, seed=4)
+        fast = t_bundle_spanner(g, t=6, seed=7)
+        slow = reference_t_bundle_spanner(g, t=6, seed=7)
+        assert np.array_equal(fast.edge_indices, slow.edge_indices)
+        assert fast.exhausted == slow.exhausted
+        assert fast.t == slow.t
+
+    def test_bundle_no_early_stop_matches(self):
+        path = gen.path_graph(25)
+        fast = t_bundle_spanner(path, t=3, seed=1, stop_when_exhausted=False)
+        slow = reference_t_bundle_spanner(path, t=3, seed=1, stop_when_exhausted=False)
+        assert fast.t == slow.t == 3
+        assert np.array_equal(fast.edge_indices, slow.edge_indices)
+        for a, b in zip(fast.component_edge_indices, slow.component_edge_indices):
+            assert np.array_equal(a, b)
+
+
+class TestZeroValidationPeel:
+    """The t-round peel must not run a single validated Graph construction."""
+
+    def test_no_graph_init_inside_bundle(self, monkeypatch):
+        g = gen.erdos_renyi_graph(120, 0.15, seed=6, ensure_connected=True)
+        calls = []
+        original_init = Graph.__init__
+
+        def counting_init(self, *args, **kwargs):
+            calls.append(1)
+            original_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(Graph, "__init__", counting_init)
+        result = t_bundle_spanner(g, t=4, seed=2)
+        assert result.num_edges > 0
+        assert len(calls) == 0
+
+    def test_no_graph_init_inside_spanner(self, monkeypatch):
+        g = banded_graph(100, 4)
+        calls = []
+        original_init = Graph.__init__
+
+        def counting_init(self, *args, **kwargs):
+            calls.append(1)
+            original_init(self, *args, **kwargs)
+
+        monkeypatch.setattr(Graph, "__init__", counting_init)
+        result = baswana_sen_spanner(g, seed=3)
+        assert result.spanner.num_edges > 0
+        assert len(calls) == 0
+
+
+class TestCostAccounting:
+    """Satellite fixes: per-call cost deltas and the bundle charge labels."""
+
+    def test_spanner_cost_is_delta_on_shared_tracker(self):
+        g = gen.erdos_renyi_graph(70, 0.2, seed=8, ensure_connected=True)
+        tracker = PRAMTracker()
+        first = baswana_sen_spanner(g, seed=1, tracker=tracker)
+        second = baswana_sen_spanner(g, seed=2, tracker=tracker)
+        # Each result reports only its own work; the sum matches the tracker.
+        assert first.cost.work > 0
+        assert second.cost.work > 0
+        assert first.cost.work + second.cost.work == pytest.approx(tracker.total.work)
+        assert first.cost.depth + second.cost.depth == pytest.approx(tracker.total.depth)
+
+    def test_bundle_cost_is_delta_on_shared_tracker(self):
+        g = gen.erdos_renyi_graph(70, 0.25, seed=9, ensure_connected=True)
+        tracker = PRAMTracker()
+        first = t_bundle_spanner(g, t=2, seed=1, tracker=tracker)
+        second = t_bundle_spanner(g, t=2, seed=2, tracker=tracker)
+        assert first.cost.work > 0
+        assert first.cost.work + second.cost.work == pytest.approx(tracker.total.work)
+
+    def test_component_costs_sum_to_bundle_cost(self):
+        g = gen.erdos_renyi_graph(80, 0.25, seed=10, ensure_connected=True)
+        tracker = PRAMTracker()
+        bundle = t_bundle_spanner(g, t=3, seed=5, tracker=tracker)
+        assert bundle.cost.work == pytest.approx(tracker.total.work)
+
+    def test_bundle_assemble_charged_and_final_peel_not(self):
+        g = gen.erdos_renyi_graph(80, 0.3, seed=11, ensure_connected=True)
+        tracker = PRAMTracker()
+        bundle = t_bundle_spanner(g, t=3, seed=5, tracker=tracker)
+        breakdown = tracker.breakdown()
+        assert "bundle/assemble" in breakdown
+        total_chosen = sum(c.shape[0] for c in bundle.component_edge_indices)
+        assert breakdown["bundle/assemble"].work == pytest.approx(total_chosen)
+        # t rounds but only t-1 peel passes: the final remainder is unused.
+        assert breakdown["bundle/peel-edges"].work < bundle.t * g.num_edges

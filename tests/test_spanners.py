@@ -330,3 +330,24 @@ class TestDistributedBundleSpanner:
         # A tree is its own spanner: one component absorbs everything.
         assert result.components_built == 1
         assert result.edge_indices.shape[0] == path.num_edges
+
+    def test_edge_order_independent(self, small_er_graph):
+        """The protocol runs on the coalesced (key-sorted) graph, so a
+        permuted edge order must select the same edge *keys* per component."""
+        from repro.spanners.distributed_spanner import distributed_bundle_spanner
+
+        simple = small_er_graph.coalesce()
+        rng = np.random.default_rng(123)
+        perm = rng.permutation(simple.num_edges)
+        shuffled = simple.select_edges(perm)
+
+        sorted_result = distributed_bundle_spanner(simple, t=2, seed=9)
+        shuffled_result = distributed_bundle_spanner(shuffled, t=2, seed=9)
+        assert sorted_result.components_built == shuffled_result.components_built
+        for a, b in zip(
+            sorted_result.component_edge_indices,
+            shuffled_result.component_edge_indices,
+        ):
+            keys_a = np.sort(simple.edge_keys()[a])
+            keys_b = np.sort(shuffled.edge_keys()[b])
+            assert np.array_equal(keys_a, keys_b)

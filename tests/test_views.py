@@ -1,0 +1,175 @@
+"""Property tests for the trusted EdgeSubset view layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import GraphError
+from repro.graphs import EdgeSubset
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.spanners.baswana_sen import baswana_sen_spanner
+from repro.spanners.bundle import t_bundle_spanner
+from repro.spanners.verification import verify_spanner
+
+
+def banded_graph(n: int, band: int, seed: int = 0) -> Graph:
+    return gen.banded_graph(n, band, weight_range=(0.5, 2.0), seed=seed)
+
+
+class TestEdgeSubsetBasics:
+    def test_full_view_shares_parent_arrays(self, medium_er_graph):
+        view = EdgeSubset.full(medium_er_graph)
+        assert view.num_edges == medium_er_graph.num_edges
+        assert view.num_vertices == medium_er_graph.num_vertices
+        assert view.edge_u is medium_er_graph.edge_u
+        assert view.edge_v is medium_er_graph.edge_v
+        assert view.edge_weights is medium_er_graph.edge_weights
+
+    def test_graph_edge_subset_helper(self, medium_er_graph):
+        view = medium_er_graph.edge_subset()
+        assert view.parent is medium_er_graph
+        restricted = medium_er_graph.edge_subset(np.array([0, 2]))
+        assert restricted.num_edges == 2
+        assert np.array_equal(restricted.parent_indices, [0, 2])
+
+    def test_select_composes_index_maps(self, medium_er_graph):
+        view = EdgeSubset.full(medium_er_graph).select_edges(np.arange(10))
+        nested = view.select_edges(np.array([1, 3, 5]))
+        assert np.array_equal(nested.parent_indices, [1, 3, 5])
+        assert nested.parent is medium_er_graph
+        assert np.array_equal(nested.edge_u, medium_er_graph.edge_u[[1, 3, 5]])
+
+    def test_mask_length_validated(self, medium_er_graph):
+        view = EdgeSubset.full(medium_er_graph)
+        with pytest.raises(GraphError):
+            view.select_edges(np.array([True, False]))
+        with pytest.raises(GraphError):
+            view.remove_edges(np.array([True]))
+
+    def test_remove_edges(self, medium_er_graph):
+        view = EdgeSubset.full(medium_er_graph)
+        mask = np.zeros(view.num_edges, dtype=bool)
+        mask[:4] = True
+        remaining = view.remove_edges(mask)
+        assert remaining.num_edges == view.num_edges - 4
+        assert np.array_equal(
+            remaining.parent_indices, np.arange(4, view.num_edges)
+        )
+
+    def test_to_parent_indices(self, medium_er_graph):
+        view = EdgeSubset.from_indices(medium_er_graph, np.array([5, 7, 9]))
+        assert np.array_equal(view.to_parent_indices(np.array([0, 2])), [5, 9])
+
+    def test_materialize_zero_copy_equals_select_edges(self, medium_er_graph):
+        idx = np.arange(0, medium_er_graph.num_edges, 2)
+        via_view = EdgeSubset.from_indices(medium_er_graph, idx).materialize()
+        via_graph = medium_er_graph.select_edges(idx)
+        assert via_view.same_edge_set(via_graph)
+        # Trusted materialisation shares the sliced arrays outright.
+        assert via_view.edge_u.flags.writeable is False
+
+    def test_materialize_with_weight_override(self, medium_er_graph):
+        view = EdgeSubset.full(medium_er_graph)
+        doubled = view.materialize(weights=medium_er_graph.edge_weights * 2.0)
+        assert np.allclose(doubled.edge_weights, medium_er_graph.edge_weights * 2.0)
+
+
+class TestEdgeSubsetRoundTrips:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        data=st.data(),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_through_select_edges(self, seed, data):
+        """Any chain of restrictions agrees with direct Graph.select_edges."""
+        g = gen.erdos_renyi_graph(
+            30, 0.3, seed=seed, weight_range=(0.5, 3.0), ensure_connected=True
+        )
+        m = g.num_edges
+        keep = data.draw(
+            st.lists(st.booleans(), min_size=m, max_size=m).map(np.array)
+        )
+        view = EdgeSubset.full(g).select_edges(keep)
+        direct = g.select_edges(keep)
+        materialized = view.materialize()
+        assert materialized.same_edge_set(direct)
+        assert np.array_equal(view.parent_indices, np.flatnonzero(keep))
+        # Second hop: restrict the view again and compare against composing
+        # the masks on the parent.
+        m2 = view.num_edges
+        if m2:
+            keep2 = data.draw(
+                st.lists(st.booleans(), min_size=m2, max_size=m2).map(np.array)
+            )
+            nested = view.select_edges(keep2)
+            composed = np.flatnonzero(keep)[keep2]
+            assert np.array_equal(nested.parent_indices, composed)
+            assert nested.materialize().same_edge_set(g.select_edges(composed))
+
+    def test_peeling_partition_covers_parent(self):
+        """Iterated remove_edges partitions the parent's edge index space."""
+        g = banded_graph(80, 5, seed=3)
+        view = EdgeSubset.full(g)
+        rng = np.random.default_rng(0)
+        seen = []
+        while view.num_edges:
+            take = rng.random(view.num_edges) < 0.4
+            if not take.any():
+                take[0] = True
+            seen.append(view.parent_indices[take])
+            view = view.remove_edges(take)
+        all_indices = np.sort(np.concatenate(seen))
+        assert np.array_equal(all_indices, np.arange(g.num_edges))
+
+
+class TestSpannerOnViews:
+    """The spanner/bundle entry points accept views and certify on banded graphs."""
+
+    def test_spanner_on_view_matches_graph(self):
+        g = banded_graph(100, 6, seed=1)
+        on_graph = baswana_sen_spanner(g, seed=5)
+        on_view = baswana_sen_spanner(EdgeSubset.full(g), seed=5)
+        assert np.array_equal(on_graph.edge_indices, on_view.edge_indices)
+        assert isinstance(on_view.spanner, Graph)
+
+    def test_bundle_on_view_matches_graph(self):
+        g = banded_graph(100, 6, seed=2)
+        on_graph = t_bundle_spanner(g, t=3, seed=9)
+        on_view = t_bundle_spanner(EdgeSubset.full(g), t=3, seed=9)
+        assert np.array_equal(on_graph.edge_indices, on_view.edge_indices)
+        assert isinstance(on_view.bundle, Graph)
+
+    def test_restricted_view_spanner_indices_are_local(self):
+        g = banded_graph(90, 5, seed=4)
+        idx = np.flatnonzero(np.arange(g.num_edges) % 3 != 0)
+        view = EdgeSubset.from_indices(g, idx)
+        result = baswana_sen_spanner(view, seed=11)
+        assert result.edge_indices.max(initial=-1) < view.num_edges
+        direct = baswana_sen_spanner(g.select_edges(idx), seed=11)
+        assert np.array_equal(result.edge_indices, direct.edge_indices)
+
+    @pytest.mark.parametrize("seed", [0, 7])
+    def test_stretch_verification_still_certifies_on_banded(self, seed):
+        """End-to-end: vectorized spanner on a banded graph passes verification."""
+        g = banded_graph(120, 6, seed=seed)
+        result = baswana_sen_spanner(g, seed=seed + 1)
+        assert verify_spanner(g, result)
+
+    def test_bundle_components_on_banded_certify(self):
+        from repro.resistance.stretch import stretch_over_subgraph
+
+        g = banded_graph(60, 4, seed=5)
+        bundle = t_bundle_spanner(g, t=2, seed=3)
+        target = 2 * np.ceil(np.log2(g.num_vertices)) - 1
+        removed = np.zeros(g.num_edges, dtype=bool)
+        for component in bundle.component_edge_indices:
+            remaining = g.select_edges(~removed)
+            remaining_ids = np.flatnonzero(~removed)
+            local = np.flatnonzero(np.isin(remaining_ids, component))
+            spanner = remaining.select_edges(local)
+            outside_local = np.setdiff1d(np.arange(remaining.num_edges), local)
+            if outside_local.size:
+                stretches = stretch_over_subgraph(remaining, spanner, outside_local)
+                assert stretches.max() <= target + 1e-9
+            removed[component] = True
