@@ -5,18 +5,16 @@ Run with:  python examples/quickstart.py
 Demonstrates the three-line workflow of the library:
 
 1. build (or load) a weighted graph,
-2. run ``PARALLELSPARSIFY`` (Algorithm 2 of the paper),
+2. run ``PARALLELSPARSIFY`` (Algorithm 2 of the paper) through the
+   unified front door ``repro.sparsify`` (swap ``method=`` to run any
+   registered sparsifier — see ``examples/method_comparison.py``),
 3. measure the spectral approximation certificate of the output.
 """
 
 from __future__ import annotations
 
-from repro import (
-    SparsifierConfig,
-    certify_approximation,
-    generators,
-    parallel_sparsify,
-)
+import repro
+from repro import SparsifierConfig, certify_approximation, generators
 from repro.analysis.spectral import approximation_report
 
 
@@ -27,10 +25,13 @@ def main() -> None:
 
     # Practical configuration: bundle of ~log n spanners per round.
     config = SparsifierConfig.practical(bundle_t=2)
-    result = parallel_sparsify(graph, epsilon=0.5, rho=8, config=config, seed=1)
+    unified = repro.sparsify(
+        graph, method="koutis", epsilon=0.5, rho=8, config=config, seed=1
+    )
+    result = unified.native  # the method's own SparsifyResult, rounds included
 
-    print(f"sparsifier: m={result.output_edges} "
-          f"({result.reduction_factor:.2f}x fewer edges, {len(result.rounds)} rounds)")
+    print(f"sparsifier: m={unified.output_edges} "
+          f"({unified.reduction_factor:.2f}x fewer edges, {len(result.rounds)} rounds)")
     for record in result.rounds:
         print(f"  round {record.round_index}: {record.input_edges} -> {record.output_edges} edges "
               f"(bundle {record.bundle_edges}, sampled {record.sampled_edges})")

@@ -15,17 +15,31 @@ Graph Sparsification* (Ioannis Koutis, SPAA 2014).  The package provides
 * the Peng–Spielman approximate-inverse-chain SDD solver with the
   sparsifier plugged in (:mod:`repro.solvers`),
 * baselines (Spielman–Srivastava, uniform, Kapralov–Panigrahi-style) in
-  :mod:`repro.baselines`, and
+  :mod:`repro.baselines`,
 * measurement/reporting helpers for the experiment harness
-  (:mod:`repro.analysis`).
+  (:mod:`repro.analysis`), and
+* the unified method API (:mod:`repro.api`): a registry-driven engine
+  exposing every sparsifier — including yours, via
+  :func:`repro.api.register_method` — through ``repro.sparsify(g,
+  method=...)`` with one request/result model.
 
 Quick start
 -----------
->>> from repro import generators, parallel_sparsify, certify_approximation
->>> g = generators.erdos_renyi_graph(300, 0.2, seed=1, ensure_connected=True)
->>> result = parallel_sparsify(g, epsilon=0.5, rho=4, seed=2)
->>> cert = certify_approximation(g, result.sparsifier)
->>> cert.lower > 0 and cert.upper < 10
+The unified front door (:mod:`repro.api`) runs any registered method —
+the paper's algorithm, its distributed driver, or a baseline — through
+one call:
+
+>>> import repro
+>>> g = repro.generators.erdos_renyi_graph(300, 0.2, seed=1, ensure_connected=True)
+>>> result = repro.sparsify(g, method="koutis", epsilon=0.5, rho=4, seed=2, certify=True)
+>>> result.certificate.lower > 0 and result.certificate.upper < 10
+True
+
+The per-method legacy entry points remain supported and bit-identical:
+
+>>> from repro import parallel_sparsify, certify_approximation
+>>> legacy = parallel_sparsify(g, epsilon=0.5, rho=4, seed=2)
+>>> legacy.sparsifier.same_edge_set(result.sparsifier)
 True
 """
 
@@ -74,6 +88,23 @@ from repro.baselines import (
     kapralov_panigrahi_sparsify,
 )
 
+# Unified method API (the front door).
+from repro.api import (
+    Engine,
+    available_method_names,
+    ProgressEvent,
+    SparsifyRequest,
+    UnifiedBatchResult,
+    UnifiedResult,
+    available_methods,
+    compare_methods,
+    get_method,
+    method_descriptions,
+    register_method,
+    sparsify,
+    unregister_method,
+)
+
 # Parallel / distributed models and execution backends.
 from repro.parallel import (
     PRAMTracker,
@@ -116,6 +147,19 @@ __all__ = [
     "spielman_srivastava_sparsify",
     "uniform_sparsify",
     "kapralov_panigrahi_sparsify",
+    "sparsify",
+    "compare_methods",
+    "Engine",
+    "SparsifyRequest",
+    "UnifiedResult",
+    "UnifiedBatchResult",
+    "ProgressEvent",
+    "register_method",
+    "unregister_method",
+    "get_method",
+    "available_methods",
+    "available_method_names",
+    "method_descriptions",
     "PRAMTracker",
     "DistributedSimulator",
     "PRAMCost",

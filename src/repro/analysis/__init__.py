@@ -14,7 +14,7 @@ from repro.analysis.spectral import (
     resistance_preservation,
     ApproximationReport,
 )
-from repro.analysis.reporting import ExperimentTable, format_table
+from repro.analysis.reporting import ExperimentTable, comparison_table, format_table
 
 __all__ = [
     "approximation_report",
@@ -22,5 +22,6 @@ __all__ = [
     "resistance_preservation",
     "ApproximationReport",
     "ExperimentTable",
+    "comparison_table",
     "format_table",
 ]

@@ -1,0 +1,360 @@
+"""The engine: one front door over every registered sparsifier method.
+
+:class:`Engine` resolves a :class:`~repro.api.request.SparsifyRequest`
+once — method adapter, effective config, execution backend — and then
+runs it against one graph (:meth:`Engine.run`) or many
+(:meth:`Engine.run_many`), emitting :class:`~repro.api.result.ProgressEvent`
+telemetry and returning :class:`~repro.api.result.UnifiedResult` objects
+that are directly comparable across methods.
+
+The one-liner most callers want::
+
+    import repro
+    result = repro.sparsify(g, method="koutis", epsilon=0.5, seed=7)
+    result.sparsifier, result.reduction_factor, result.certificate
+
+Determinism contract: for a fixed integer seed, ``Engine.run`` produces
+*bit-identical* edge selections to the corresponding legacy entry point
+(``parallel_sparsify``, ``distributed_parallel_sparsify``, the three
+baselines), and ``Engine.run_many`` matches
+:func:`repro.core.batch.sparsify_many` — the engine adds a uniform
+surface, never new randomness.  The parity tests in
+``tests/test_api_engine.py`` pin this.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.registry import MethodSpec, get_method
+from repro.api.request import SparsifyRequest
+from repro.api.result import ProgressEvent, UnifiedBatchResult, UnifiedResult
+from repro.core.certificates import certify_approximation
+from repro.core.config import SparsifierConfig
+from repro.exceptions import MethodError
+from repro.graphs.graph import Graph
+from repro.parallel.backends import get_backend
+from repro.utils.rng import as_rng, split_rng
+
+__all__ = ["Engine", "sparsify", "compare_methods"]
+
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def _noop_emit(kind: str, **fields: Any) -> None:
+    """Runner-side emit used when nobody is listening (also in workers)."""
+
+
+def _extract_counts(native: Any, method: str) -> Tuple[Graph, int, int]:
+    """Pull the unified-protocol fields out of a native result."""
+    try:
+        sparsifier = native.sparsifier
+        input_edges = int(native.input_edges)
+        output_edges = int(native.output_edges)
+    except AttributeError as exc:
+        raise MethodError(
+            f"method {method!r} returned {type(native).__name__}, which does not "
+            "expose the unified result protocol (sparsifier / input_edges / "
+            "output_edges)"
+        ) from exc
+    if not isinstance(sparsifier, Graph):
+        raise MethodError(
+            f"method {method!r} returned a sparsifier of type "
+            f"{type(sparsifier).__name__}, expected repro.graphs.Graph"
+        )
+    return sparsifier, input_edges, output_edges
+
+
+def _run_adapter(
+    spec: MethodSpec,
+    graph: Graph,
+    *,
+    config: SparsifierConfig,
+    epsilon: Optional[float],
+    rho: float,
+    seed: Any,
+    options: Dict[str, Any],
+    emit: Callable[..., None],
+) -> Tuple[Any, float]:
+    """Invoke a method runner, timing it; returns (native result, seconds)."""
+    start = time.perf_counter()
+    native = spec.runner(
+        graph,
+        config=config,
+        epsilon=epsilon,
+        rho=rho,
+        seed=seed,
+        options=options,
+        emit=emit,
+    )
+    return native, time.perf_counter() - start
+
+
+def _engine_job(item: Tuple[int, Graph, Any], shared: Dict[str, Any]) -> Tuple[Any, float]:
+    """One ``run_many`` job; module-level so the process backend can pickle it.
+
+    The per-job RNG stream arrives in the item (split before dispatch, so
+    the output is bit-identical on every backend and worker count); the
+    request-shaped payload travels through ``shared`` once per worker.
+    """
+    _job_index, graph, seed = item
+    return _run_adapter(
+        shared["spec"],
+        graph,
+        config=shared["config"],
+        epsilon=shared["epsilon"],
+        rho=shared["rho"],
+        seed=seed,
+        options=dict(shared["options"]),
+        emit=_noop_emit,
+    )
+
+
+class Engine:
+    """Resolved, reusable executor for one :class:`SparsifyRequest`.
+
+    Parameters
+    ----------
+    request:
+        The request to execute.  Method and config resolution happen
+        here, eagerly, so an unknown method or invalid config fails at
+        construction rather than mid-run.
+    progress:
+        Optional callback receiving :class:`ProgressEvent` objects:
+        one ``"round"`` event per round for multi-round methods, plus a
+        final ``"result"`` event per run (and per job in
+        :meth:`run_many`).  This is the telemetry hook a serving layer
+        attaches metrics/log emission to; exceptions raised by the
+        callback propagate to the caller.
+    """
+
+    def __init__(
+        self, request: SparsifyRequest, progress: Optional[ProgressCallback] = None
+    ) -> None:
+        if not isinstance(request, SparsifyRequest):
+            raise MethodError(
+                f"Engine expects a SparsifyRequest, got {type(request).__name__}"
+            )
+        self.request = request
+        self.progress = progress
+        self._spec = get_method(request.method)
+        self._config = request.resolved_config()
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def method(self) -> str:
+        """Canonical name of the resolved method (aliases resolved)."""
+        return self._spec.name
+
+    @property
+    def config(self) -> SparsifierConfig:
+        """The effective config (request-level execution overrides applied)."""
+        return self._config
+
+    def _make_emit(self, job_index: Optional[int] = None) -> Callable[..., None]:
+        if self.progress is None:
+            return _noop_emit
+        progress = self.progress
+        method = self._spec.name
+
+        def emit(kind: str, **fields: Any) -> None:
+            progress(ProgressEvent(method=method, kind=kind, job_index=job_index, **fields))
+
+        return emit
+
+    def _wrap(
+        self, graph: Graph, native: Any, wall_seconds: float
+    ) -> UnifiedResult:
+        sparsifier, input_edges, output_edges = _extract_counts(native, self._spec.name)
+        certificate = (
+            certify_approximation(graph, sparsifier) if self.request.certify else None
+        )
+        return UnifiedResult(
+            method=self._spec.name,
+            sparsifier=sparsifier,
+            input_edges=input_edges,
+            output_edges=output_edges,
+            wall_time_seconds=wall_seconds,
+            request=self.request,
+            native=native,
+            cost=getattr(native, "cost", None),
+            certificate=certificate,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, graph: Graph) -> UnifiedResult:
+        """Execute the request on one graph.
+
+        Deterministic for a fixed integer seed: repeated calls return
+        bit-identical sparsifiers, exactly like the legacy entry points.
+        """
+        emit = self._make_emit()
+        native, wall_seconds = _run_adapter(
+            self._spec,
+            graph,
+            config=self._config,
+            epsilon=self.request.epsilon,
+            rho=self.request.rho,
+            seed=self.request.seed,
+            options=dict(self.request.options),
+            emit=emit,
+        )
+        result = self._wrap(graph, native, wall_seconds)
+        emit(
+            "result",
+            input_edges=result.input_edges,
+            output_edges=result.output_edges,
+        )
+        return result
+
+    def run_many(self, graphs: Iterable[Graph]) -> UnifiedBatchResult:
+        """Execute the request independently on many graphs.
+
+        The job fan-out runs on the request's backend; job ``i`` receives
+        the ``i``-th RNG sub-stream of the seed (split *before* dispatch)
+        and runs its internal work serially, matching
+        :func:`repro.core.batch.sparsify_many` exactly — so for
+        ``method="koutis"`` the outputs are bit-identical to that legacy
+        batch API at the same seed, on every backend and worker count.
+
+        Per-job ``"result"`` events (with ``job_index``) are emitted in
+        input order after the fan-out completes, so telemetry behaves the
+        same on in-process and multi-process backends.
+        """
+        graph_list = list(graphs)
+        backend = get_backend(self._config.backend, self._config.max_workers)
+        if not graph_list:
+            return UnifiedBatchResult(
+                results=[],
+                method=self._spec.name,
+                backend_name=backend.name,
+                max_workers=backend.max_workers,
+            )
+        # Jobs run their internal work serially: the batch IS the fan-out
+        # (same rule as sparsify_many — avoids nested pools, output-neutral).
+        job_config = self._config.with_overrides(backend="serial", max_workers=None)
+        job_rngs = split_rng(as_rng(self.request.seed), len(graph_list))
+        items = [(i, graph, job_rngs[i]) for i, graph in enumerate(graph_list)]
+        shared = {
+            "spec": self._spec,
+            "config": job_config,
+            "epsilon": self.request.epsilon,
+            "rho": self.request.rho,
+            "options": dict(self.request.options),
+        }
+        outcomes = backend.map(_engine_job, items, shared=shared)
+        results: List[UnifiedResult] = []
+        for job_index, (graph, (native, wall_seconds)) in enumerate(
+            zip(graph_list, outcomes)
+        ):
+            result = self._wrap(graph, native, wall_seconds)
+            results.append(result)
+            self._make_emit(job_index)(
+                "result",
+                input_edges=result.input_edges,
+                output_edges=result.output_edges,
+            )
+        return UnifiedBatchResult(
+            results=results,
+            method=self._spec.name,
+            backend_name=backend.name,
+            max_workers=backend.max_workers,
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Convenience front doors.
+# ---------------------------------------------------------------------- #
+
+
+def sparsify(
+    graph: Graph,
+    method: str = "koutis",
+    *,
+    epsilon: Optional[float] = None,
+    rho: float = 4.0,
+    config: Optional[SparsifierConfig] = None,
+    backend: Optional[str] = None,
+    max_workers: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    seed: Optional[int] = None,
+    certify: bool = False,
+    progress: Optional[ProgressCallback] = None,
+    **options: Any,
+) -> UnifiedResult:
+    """Sparsify ``graph`` with any registered method — the package front door.
+
+    Builds a :class:`SparsifyRequest` from the keyword arguments, resolves
+    it through an :class:`Engine`, and returns the
+    :class:`~repro.api.result.UnifiedResult`.  Extra keyword arguments are
+    forwarded to the method as its ``options`` (e.g. ``probability=0.3``
+    for ``method="uniform"``).
+
+    >>> import repro
+    >>> g = repro.generators.erdos_renyi_graph(200, 0.2, seed=1, ensure_connected=True)
+    >>> result = repro.sparsify(g, method="koutis", epsilon=0.5, seed=2)
+    >>> result.output_edges <= g.num_edges
+    True
+    """
+    request = SparsifyRequest(
+        method=method,
+        epsilon=epsilon,
+        rho=rho,
+        config=config,
+        backend=backend,
+        max_workers=max_workers,
+        num_shards=num_shards,
+        seed=seed,
+        certify=certify,
+        options=options,
+    )
+    return Engine(request, progress=progress).run(graph)
+
+
+def compare_methods(
+    graph: Graph,
+    methods: Sequence[str],
+    *,
+    epsilon: Optional[float] = None,
+    rho: float = 4.0,
+    config: Optional[SparsifierConfig] = None,
+    seed: Optional[int] = None,
+    certify: bool = False,
+    options_by_method: Optional[Dict[str, Dict[str, Any]]] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[UnifiedResult]:
+    """Run several registered methods on one graph with identical parameters.
+
+    Every method receives the *same* epsilon / rho / config / seed, so the
+    resulting :class:`UnifiedResult` objects are a fair side-by-side
+    comparison (the core experiment of the paper).  Render them with
+    :func:`repro.analysis.reporting.comparison_table`.
+
+    Parameters
+    ----------
+    methods:
+        Registered method names (at least one; the CLI ``compare``
+        subcommand requires two or more).
+    options_by_method:
+        Optional per-method options, keyed by the name used in
+        ``methods``.
+    """
+    if not methods:
+        raise MethodError("compare_methods needs at least one method name")
+    options_by_method = options_by_method or {}
+    results = []
+    for name in methods:
+        request = SparsifyRequest(
+            method=name,
+            epsilon=epsilon,
+            rho=rho,
+            config=config,
+            seed=seed,
+            certify=certify,
+            options=options_by_method.get(name, {}),
+        )
+        results.append(Engine(request, progress=progress).run(graph))
+    return results

@@ -12,18 +12,32 @@
   certifies "robust connectivity" upper bounds that are then oversampled,
   paying the ``1/eps^4``-type dependence Remark 4 contrasts with this
   paper's ``1/eps^2``.
+
+All three result types share one accessor set (``sparsifier`` /
+``input_edges`` / ``output_edges`` / ``num_edges`` /
+``reduction_factor``), and every baseline is registered with the unified
+method registry (see :mod:`repro.baselines.methods`), so
+``repro.sparsify(g, method="uniform")`` and friends go through the same
+engine as the paper's algorithm.
 """
 
 from repro.baselines.spielman_srivastava import (
     SSResult,
     spielman_srivastava_sparsify,
 )
-from repro.baselines.uniform import uniform_sparsify
-from repro.baselines.kapralov_panigrahi import kapralov_panigrahi_sparsify
+from repro.baselines.uniform import (
+    UniformSampleResult,
+    uniform_probability_for_epsilon,
+    uniform_sparsify,
+)
+from repro.baselines.kapralov_panigrahi import KPResult, kapralov_panigrahi_sparsify
 
 __all__ = [
     "SSResult",
     "spielman_srivastava_sparsify",
+    "UniformSampleResult",
+    "uniform_probability_for_epsilon",
     "uniform_sparsify",
+    "KPResult",
     "kapralov_panigrahi_sparsify",
 ]

@@ -1,0 +1,50 @@
+"""Shared accessor mixins for the baseline result types.
+
+Every baseline result exposes the same unified accessor set
+(``sparsifier`` / ``input_edges`` / ``output_edges`` / ``num_edges`` /
+``reduction_factor``) so the engine and the comparison tables treat them
+interchangeably; these mixins keep the edge-case conventions (empty
+graphs, deprecation text) in exactly one place.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["UnifiedResultAccessors", "DeprecatedDistinctEdges"]
+
+
+class UnifiedResultAccessors:
+    """Derived accessors over ``sparsifier`` / ``input_edges`` / ``output_edges``."""
+
+    @property
+    def num_edges(self) -> int:
+        """Edges in the sparsifier (alias of ``output_edges``)."""
+        return self.sparsifier.num_edges
+
+    @property
+    def reduction_factor(self) -> float:
+        """Input edges divided by output edges (>= 1 for real reductions)."""
+        if self.output_edges == 0:
+            return float("inf") if self.input_edges else 1.0
+        return self.input_edges / self.output_edges
+
+
+class DeprecatedDistinctEdges:
+    """Back-compat shim for the pre-unification ``distinct_edges`` name."""
+
+    @property
+    def distinct_edges(self) -> int:
+        """Deprecated alias of ``output_edges``.
+
+        .. deprecated::
+            Use ``output_edges`` (or ``num_edges``); the baseline results
+            now share one accessor set.
+        """
+        warnings.warn(
+            f"{type(self).__name__}.distinct_edges is deprecated; "
+            "use output_edges (or num_edges)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.sparsifier.num_edges

@@ -34,6 +34,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.baselines._shared import DeprecatedDistinctEdges, UnifiedResultAccessors
 from repro.exceptions import SparsificationError
 from repro.graphs.graph import Graph
 from repro.resistance.stretch import stretch_over_subgraph
@@ -44,15 +45,26 @@ __all__ = ["KPResult", "kapralov_panigrahi_sparsify", "kp_sample_count"]
 
 
 @dataclass
-class KPResult:
-    """Output of the Kapralov–Panigrahi-style sampler."""
+class KPResult(UnifiedResultAccessors, DeprecatedDistinctEdges):
+    """Output of the Kapralov–Panigrahi-style sampler.
+
+    Exposes the unified accessor set shared by every baseline result:
+    ``sparsifier`` / ``input_edges`` / ``output_edges`` / ``num_edges`` /
+    ``reduction_factor``.  The pre-unification ``distinct_edges`` name
+    remains as a deprecated alias of ``output_edges``.
+    """
 
     sparsifier: Graph
     num_samples: int
     epsilon: float
     resistance_upper_bounds: np.ndarray
-    distinct_edges: int
     num_spanners: int
+    input_edges: int = 0
+
+    @property
+    def output_edges(self) -> int:
+        """Distinct edges kept (sampling draws with replacement, copies merge)."""
+        return self.sparsifier.num_edges
 
 
 def kp_sample_count(num_vertices: int, epsilon: float, constant: float = 2.0) -> int:
@@ -84,8 +96,8 @@ def kapralov_panigrahi_sparsify(
             num_samples=0,
             epsilon=epsilon,
             resistance_upper_bounds=np.zeros(0),
-            distinct_edges=0,
             num_spanners=0,
+            input_edges=0,
         )
     rng = as_rng(seed)
     n = graph.num_vertices
@@ -126,6 +138,6 @@ def kapralov_panigrahi_sparsify(
         num_samples=num_samples,
         epsilon=epsilon,
         resistance_upper_bounds=upper,
-        distinct_edges=int(chosen.shape[0]),
         num_spanners=bundle.t,
+        input_edges=m,
     )

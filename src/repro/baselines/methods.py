@@ -1,0 +1,113 @@
+"""Engine adapters for the baseline sparsifiers.
+
+Registers the three baselines with the unified method registry
+(:mod:`repro.api.registry`):
+
+``spielman-srivastava``
+    Effective-resistance importance sampling [23] — the solver-dependent
+    scheme the paper's spanner-based algorithm replaces.
+``uniform``
+    Certificate-free uniform sampling — the counter-example baseline.
+``kapralov-panigrahi``
+    Spanner-oversampling with ``1/eps^4`` size [7] — the other
+    spanner-based scheme (Remark 4).
+
+The baselines are single-shot (no rounds) and ignore ``rho``; each
+adapter resolves epsilon with the same "explicit epsilon else
+``config.epsilon``" convention the core entry points use, and delegates to
+the legacy function (bit-identical outputs for the same seed); the
+engine itself emits the single ``"result"`` telemetry event.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.api.registry import register_method
+from repro.baselines.kapralov_panigrahi import kapralov_panigrahi_sparsify
+from repro.baselines.spielman_srivastava import spielman_srivastava_sparsify
+from repro.baselines.uniform import uniform_sparsify
+from repro.core.config import SparsifierConfig
+from repro.graphs.graph import Graph
+
+__all__ = ["run_spielman_srivastava", "run_uniform", "run_kapralov_panigrahi"]
+
+
+def _resolve_epsilon(epsilon: Optional[float], config: SparsifierConfig) -> float:
+    """Explicit epsilon wins; otherwise the config's (same rule as core)."""
+    return config.epsilon if epsilon is None else float(epsilon)
+
+
+@register_method(
+    "spielman-srivastava",
+    description="effective-resistance importance sampling (Spielman-Srivastava [23])",
+    aliases=("ss",),
+)
+def run_spielman_srivastava(
+    graph: Graph,
+    *,
+    config: SparsifierConfig,
+    epsilon: Optional[float],
+    rho: float,
+    seed: Any,
+    options: Dict[str, Any],
+    emit: Callable[..., None],
+):
+    """Engine adapter delegating to :func:`spielman_srivastava_sparsify`."""
+    return spielman_srivastava_sparsify(
+        graph, epsilon=_resolve_epsilon(epsilon, config), seed=seed, **options
+    )
+
+
+@register_method(
+    "uniform",
+    description="uniform edge sampling without a certificate (counter-example baseline)",
+)
+def run_uniform(
+    graph: Graph,
+    *,
+    config: SparsifierConfig,
+    epsilon: Optional[float],
+    rho: float,
+    seed: Any,
+    options: Dict[str, Any],
+    emit: Callable[..., None],
+):
+    """Engine adapter delegating to :func:`uniform_sparsify`.
+
+    A ``probability`` option selects the baseline's native
+    parameterisation; otherwise the epsilon-style keyword path of
+    :func:`uniform_sparsify` derives the keep-probability from the same
+    edge budget the importance samplers use.  Passing *both* a
+    probability option and an explicit request epsilon is the same
+    conflict the legacy function rejects, and is forwarded so it raises
+    identically (a config-level epsilon default does not conflict).
+    """
+    if "probability" in options:
+        # Only an *explicit* request epsilon conflicts; forward it so
+        # uniform_sparsify raises exactly as the legacy call would.
+        return uniform_sparsify(graph, seed=seed, epsilon=epsilon, **options)
+    return uniform_sparsify(
+        graph, epsilon=_resolve_epsilon(epsilon, config), seed=seed, **options
+    )
+
+
+@register_method(
+    "kapralov-panigrahi",
+    description="spanner oversampling with 1/eps^4 size (Kapralov-Panigrahi [7])",
+    aliases=("kp",),
+)
+def run_kapralov_panigrahi(
+    graph: Graph,
+    *,
+    config: SparsifierConfig,
+    epsilon: Optional[float],
+    rho: float,
+    seed: Any,
+    options: Dict[str, Any],
+    emit: Callable[..., None],
+):
+    """Engine adapter delegating to :func:`kapralov_panigrahi_sparsify`."""
+    return kapralov_panigrahi_sparsify(
+        graph, epsilon=_resolve_epsilon(epsilon, config), seed=seed, **options
+    )

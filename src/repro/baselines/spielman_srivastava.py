@@ -20,6 +20,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.baselines._shared import DeprecatedDistinctEdges, UnifiedResultAccessors
 from repro.exceptions import SparsificationError
 from repro.graphs.graph import Graph
 from repro.resistance.approx import approximate_effective_resistances
@@ -30,16 +31,27 @@ __all__ = ["SSResult", "spielman_srivastava_sparsify", "ss_sample_count"]
 
 
 @dataclass
-class SSResult:
-    """Output of the Spielman–Srivastava sampler."""
+class SSResult(UnifiedResultAccessors, DeprecatedDistinctEdges):
+    """Output of the Spielman–Srivastava sampler.
+
+    Exposes the unified accessor set shared by every baseline result:
+    ``sparsifier`` / ``input_edges`` / ``output_edges`` / ``num_edges`` /
+    ``reduction_factor``.  The pre-unification ``distinct_edges`` name
+    remains as a deprecated alias of ``output_edges``.
+    """
 
     sparsifier: Graph
     num_samples: int
     epsilon: float
     probabilities: np.ndarray
     resistances: np.ndarray
-    distinct_edges: int
     solver_based: bool
+    input_edges: int = 0
+
+    @property
+    def output_edges(self) -> int:
+        """Distinct edges kept (sampling draws with replacement, copies merge)."""
+        return self.sparsifier.num_edges
 
 
 def ss_sample_count(num_vertices: int, epsilon: float, constant: float = 9.0) -> int:
@@ -93,8 +105,8 @@ def spielman_srivastava_sparsify(
             epsilon=epsilon,
             probabilities=np.zeros(0),
             resistances=np.zeros(0),
-            distinct_edges=0,
             solver_based=use_approximate_resistances,
+            input_edges=0,
         )
     rng = as_rng(seed)
     n = graph.num_vertices
@@ -130,6 +142,6 @@ def spielman_srivastava_sparsify(
         epsilon=epsilon,
         probabilities=probabilities,
         resistances=resistances,
-        distinct_edges=int(chosen.shape[0]),
         solver_based=use_approximate_resistances,
+        input_edges=graph.num_edges,
     )

@@ -1,23 +1,31 @@
-"""Command-line interface: sparsify / span graphs stored as edge lists.
+"""Command-line interface: sparsify / compare / span graphs stored as edge lists.
 
 Installed as the ``repro-sparsify`` console script (see ``pyproject.toml``)
-and also runnable as ``python -m repro.cli``.
+and also runnable as ``python -m repro.cli``.  The sparsification
+subcommands are built on the unified engine (:mod:`repro.api`): every
+registered method — the paper's algorithm, its distributed driver, and the
+baselines — is reachable through ``--method``, and a whole request can be
+loaded from JSON with ``--config`` (explicit flags override file values).
 
 Subcommands
 -----------
 ``sparsify``
-    Run ``PARALLELSPARSIFY`` on a weighted edge-list file and write the
+    Run any registered method on a weighted edge-list file and write the
     sparsifier to another edge-list file, printing a summary (edge counts,
-    rounds, and — optionally — the measured spectral certificate).
+    rounds, and — with ``--certify`` — the measured spectral certificate).
 ``batch``
-    Run ``PARALLELSPARSIFY`` on many edge-list files at once, fanning the
-    jobs out across the selected execution backend
-    (:func:`repro.core.batch.sparsify_many`).
+    Run one method on many edge-list files at once, fanning the jobs out
+    across the selected execution backend (``Engine.run_many``).
+``compare``
+    Run two or more registered methods on one input with identical
+    parameters and print a side-by-side table (edges kept, reduction,
+    certificate bounds, wall time) — the paper's method comparison as a
+    one-liner.
 ``spanner``
     Compute a Baswana–Sen log n-spanner (or a t-bundle) of an edge-list
     file and write it out.
 
-``sparsify`` and ``batch`` accept ``--backend`` / ``--workers`` /
+``sparsify`` / ``batch`` accept ``--backend`` / ``--workers`` /
 ``--shards`` to choose where the work executes; backends never change the
 output for a fixed seed, while the shard count is part of the algorithm.
 
@@ -29,14 +37,19 @@ The edge-list format is the one produced by
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import Optional, Sequence
+from typing import Any, Dict, Optional, Sequence
 
-from repro.core.batch import sparsify_many
-from repro.core.certificates import certify_approximation
-from repro.core.config import SparsifierConfig
-from repro.core.sparsify import parallel_sparsify
+from repro.analysis.reporting import comparison_table
+from repro.api import (
+    Engine,
+    SparsifyRequest,
+    available_method_names,
+    compare_methods,
+)
+from repro.exceptions import ReproError
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.parallel.backends import available_backends
 from repro.spanners.baswana_sen import baswana_sen_spanner
@@ -44,18 +57,36 @@ from repro.spanners.bundle import t_bundle_spanner
 
 __all__ = ["main", "build_parser"]
 
+_DEFAULT_SEED = 0
 
-def _add_sparsify_arguments(parser: argparse.ArgumentParser) -> None:
-    """Algorithm options shared by ``sparsify`` and ``batch``."""
-    parser.add_argument("--epsilon", type=float, default=0.5, help="target epsilon (default 0.5)")
-    parser.add_argument("--rho", type=float, default=4.0, help="sparsification factor (default 4)")
+
+def _add_request_arguments(parser: argparse.ArgumentParser) -> None:
+    """Request options shared by ``sparsify``, ``batch``, and ``compare``.
+
+    Defaults are ``None`` sentinels meaning "not given on the command
+    line": resolution order is explicit flag > ``--config`` file value >
+    built-in default (see :func:`_request_from_args`).
+    """
+    parser.add_argument("--config", default=None, metavar="FILE.json",
+                        help="load a SparsifyRequest from a JSON file; explicit flags override it")
+    parser.add_argument("--epsilon", type=float, default=None,
+                        help="target epsilon (default 0.5)")
+    parser.add_argument("--rho", type=float, default=None,
+                        help="sparsification factor (default 4)")
     parser.add_argument("--bundle-t", type=int, default=None,
                         help="explicit bundle size (default: practical-mode ~log n)")
-    parser.add_argument("--mode", choices=["practical", "theory"], default="practical",
+    parser.add_argument("--mode", choices=["practical", "theory"], default=None,
                         help="constant regime (default practical)")
     parser.add_argument("--tree-bundle", action="store_true",
                         help="use low-stretch-tree bundles (Remark 2) instead of spanners")
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    parser.add_argument("--seed", type=int, default=None,
+                        help=f"random seed (default {_DEFAULT_SEED})")
+
+
+def _add_method_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--method", choices=list(available_method_names()), default=None,
+                        help="registered sparsifier method, canonical name or alias "
+                             "(default koutis)")
 
 
 def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
@@ -64,20 +95,63 @@ def _add_execution_arguments(parser: argparse.ArgumentParser) -> None:
                         help="execution backend for shard/job fan-out (default: serial)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker count for the backend (default: backend-specific)")
-    parser.add_argument("--shards", type=int, default=1,
+    parser.add_argument("--shards", type=int, default=None,
                         help="vertex-range shards for shard-parallel execution (default 1)")
 
 
-def _config_from_args(args: argparse.Namespace) -> SparsifierConfig:
-    return SparsifierConfig(
-        epsilon=args.epsilon,
-        mode=args.mode,
-        bundle_t=args.bundle_t,
-        use_tree_bundle=args.tree_bundle,
-        backend=args.backend,
-        max_workers=args.workers,
-        num_shards=args.shards,
-    )
+def _request_from_args(args: argparse.Namespace) -> SparsifyRequest:
+    """Merge ``--config`` JSON with explicit flags into a request.
+
+    Explicit command-line flags win over the config file; anything still
+    unset falls back to the request defaults (and seed 0, so CLI runs are
+    reproducible by default like they always were).
+    """
+    data: Dict[str, Any] = {}
+    if getattr(args, "config", None):
+        try:
+            data = json.loads(Path(args.config).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"cannot read request config {args.config!r}: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ReproError(
+                f"request config {args.config!r} must hold a JSON object, "
+                f"got {type(data).__name__}"
+            )
+    method_flag = getattr(args, "method", None)
+    if (
+        method_flag is not None
+        and data.get("method") not in (None, method_flag)
+    ):
+        # Options are method-specific: when the flag overrides the config
+        # file's method, the file's options belong to the *old* method and
+        # would reach the new one as unexpected keyword arguments.
+        data.pop("options", None)
+    flag_fields = {
+        "method": method_flag,
+        "epsilon": args.epsilon,
+        "rho": args.rho,
+        "backend": getattr(args, "backend", None),
+        "max_workers": getattr(args, "workers", None),
+        "num_shards": getattr(args, "shards", None),
+        "seed": args.seed,
+    }
+    for key, value in flag_fields.items():
+        if value is not None:
+            data[key] = value
+    if getattr(args, "certify", False):
+        data["certify"] = True
+    # Algorithm-config flags go into the nested SparsifierConfig payload.
+    config_payload = dict(data.get("config") or {})
+    if args.mode is not None:
+        config_payload["mode"] = args.mode
+    if args.bundle_t is not None:
+        config_payload["bundle_t"] = args.bundle_t
+    if args.tree_bundle:
+        config_payload["use_tree_bundle"] = True
+    if config_payload:
+        data["config"] = config_payload
+    data.setdefault("seed", _DEFAULT_SEED)
+    return SparsifyRequest.from_dict(data)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -88,22 +162,40 @@ def build_parser() -> argparse.ArgumentParser:
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
-    sparsify = subparsers.add_parser("sparsify", help="run PARALLELSPARSIFY on an edge list")
+    sparsify = subparsers.add_parser(
+        "sparsify", help="run a registered sparsifier method on an edge list"
+    )
     sparsify.add_argument("input", help="input edge-list file (# n m header, 'u v w' lines)")
     sparsify.add_argument("output", help="output edge-list file for the sparsifier")
-    _add_sparsify_arguments(sparsify)
+    _add_method_argument(sparsify)
+    _add_request_arguments(sparsify)
     _add_execution_arguments(sparsify)
     sparsify.add_argument("--certify", action="store_true",
                           help="also measure the spectral certificate (dense eigensolve; small graphs only)")
 
     batch = subparsers.add_parser(
-        "batch", help="run PARALLELSPARSIFY on many edge lists across a backend"
+        "batch", help="run one method on many edge lists across a backend"
     )
     batch.add_argument("inputs", nargs="+", help="input edge-list files (one job per file)")
     batch.add_argument("--output-dir", required=True,
                        help="directory for the sparsifier edge lists (<stem>.sparsified.txt)")
-    _add_sparsify_arguments(batch)
+    _add_method_argument(batch)
+    _add_request_arguments(batch)
     _add_execution_arguments(batch)
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="run >= 2 registered methods on one input and print a side-by-side table",
+    )
+    compare.add_argument("input", help="input edge-list file")
+    compare.add_argument("--methods", nargs="+", default=None,
+                         metavar="METHOD", choices=list(available_method_names()),
+                         help="methods to compare, canonical names or aliases "
+                              "(default: koutis spielman-srivastava uniform "
+                              "kapralov-panigrahi)")
+    _add_request_arguments(compare)
+    compare.add_argument("--certify", action="store_true",
+                         help="measure a spectral certificate per method (dense eigensolve)")
 
     spanner = subparsers.add_parser("spanner", help="compute a spanner / t-bundle of an edge list")
     spanner.add_argument("input", help="input edge-list file")
@@ -115,21 +207,32 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _print_rounds(native: Any) -> None:
+    """Per-round breakdown for multi-round natives (no-op for baselines)."""
+    rounds = getattr(native, "rounds", None)
+    if not rounds:
+        return
+    for i, record in enumerate(rounds, start=1):
+        index = getattr(record, "round_index", i)
+        extra = ""
+        if hasattr(record, "bundle_edges"):
+            extra = f" (bundle {record.bundle_edges}, sampled {record.sampled_edges})"
+        print(f"  round {index}: {record.input_edges} -> {record.output_edges}{extra}")
+
+
 def _run_sparsify(args: argparse.Namespace) -> int:
     graph = read_edge_list(args.input)
-    config = _config_from_args(args)
-    result = parallel_sparsify(
-        graph, epsilon=args.epsilon, rho=args.rho, config=config, seed=args.seed
-    )
+    request = _request_from_args(args)
+    engine = Engine(request)
+    result = engine.run(graph)
     write_edge_list(result.sparsifier, args.output)
+    print(f"method: {result.method}")
     print(f"input : n={graph.num_vertices} m={graph.num_edges}")
     print(f"output: m={result.output_edges} "
-          f"({result.reduction_factor:.2f}x reduction, {len(result.rounds)} rounds)")
-    for record in result.rounds:
-        print(f"  round {record.round_index}: {record.input_edges} -> {record.output_edges} "
-              f"(bundle {record.bundle_edges}, sampled {record.sampled_edges})")
-    if args.certify:
-        cert = certify_approximation(graph, result.sparsifier)
+          f"({result.reduction_factor:.2f}x reduction, {result.num_rounds} rounds)")
+    _print_rounds(result.native)
+    if result.certificate is not None:
+        cert = result.certificate
         print(f"certificate: {cert.lower:.4f} * G <= H <= {cert.upper:.4f} * G "
               f"(eps_achieved={cert.epsilon_achieved:.4f})")
     return 0
@@ -137,10 +240,9 @@ def _run_sparsify(args: argparse.Namespace) -> int:
 
 def _run_batch(args: argparse.Namespace) -> int:
     graphs = [read_edge_list(path) for path in args.inputs]
-    config = _config_from_args(args)
-    result = sparsify_many(
-        graphs, epsilon=args.epsilon, rho=args.rho, config=config, seed=args.seed
-    )
+    request = _request_from_args(args)
+    engine = Engine(request)
+    batch = engine.run_many(graphs)
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     # Inputs from different directories may share a stem (and a stem may
@@ -157,15 +259,47 @@ def _run_batch(args: argparse.Namespace) -> int:
             bump += 1
         used_names.add(candidate)
         out_names.append(candidate)
-    for path, out_name, job in zip(args.inputs, out_names, result.results):
+    for path, out_name, job in zip(args.inputs, out_names, batch.results):
         out_path = output_dir / out_name
         write_edge_list(job.sparsifier, out_path)
         print(f"{path}: m={job.input_edges} -> {job.output_edges} "
-              f"({job.reduction_factor:.2f}x, {len(job.rounds)} rounds) -> {out_path}")
-    print(f"batch : {result.num_jobs} jobs on backend={result.backend_name} "
-          f"workers={result.max_workers}")
-    print(f"total : m={result.total_input_edges} -> {result.total_output_edges} "
-          f"({result.reduction_factor:.2f}x reduction)")
+              f"({job.reduction_factor:.2f}x, {job.num_rounds} rounds) -> {out_path}")
+    print(f"batch : {batch.num_jobs} jobs method={batch.method} "
+          f"backend={batch.backend_name} workers={batch.max_workers}")
+    print(f"total : m={batch.total_input_edges} -> {batch.total_output_edges} "
+          f"({batch.reduction_factor:.2f}x reduction)")
+    return 0
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    graph = read_edge_list(args.input)
+    methods = args.methods or ["koutis", "spielman-srivastava", "uniform", "kapralov-panigrahi"]
+    if len(methods) < 2:
+        raise ReproError(
+            f"compare needs at least two methods, got {len(methods)}: {', '.join(methods)}"
+        )
+    request = _request_from_args(args)
+    if request.options:
+        raise ReproError(
+            "compare runs multiple methods, so method-specific \"options\" from "
+            f"--config are ambiguous (got {sorted(request.options)}); remove them "
+            "or use the sparsify subcommand per method"
+        )
+    results = compare_methods(
+        graph,
+        methods,
+        epsilon=request.epsilon,
+        rho=request.rho,
+        # Resolved: backend / workers / shards from the request apply to
+        # every method (the shard count is part of the algorithm, so
+        # compare must see the same sparsifier the sparsify subcommand
+        # writes for the same --config).
+        config=request.resolved_config(),
+        seed=request.seed,
+        certify=request.certify,
+    )
+    print(f"input : n={graph.num_vertices} m={graph.num_edges}")
+    print(comparison_table(results))
     return 0
 
 
@@ -193,6 +327,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_sparsify(args)
     if args.command == "batch":
         return _run_batch(args)
+    if args.command == "compare":
+        return _run_compare(args)
     if args.command == "spanner":
         return _run_spanner(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -37,7 +37,7 @@ every backend and worker count for a fixed seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -304,12 +304,19 @@ def distributed_parallel_sparsify(
     config: Optional[SparsifierConfig] = None,
     seed: SeedLike = None,
     stop_on_degenerate: bool = True,
+    on_round: Optional[Callable[[int, DistributedSampleResult], None]] = None,
 ) -> DistributedSparsifyResult:
     """Distributed Algorithm 2: iterate distributed ``PARALLELSAMPLE``.
 
     The rounds are inherently sequential (round ``i+1`` consumes round
     ``i``'s output); the parallelism lives inside each round's shard
     fan-out when ``config.num_shards > 1``.
+
+    ``on_round`` is an optional progress callback invoked as
+    ``on_round(round_index, result)`` (1-based index) the moment each
+    round's :class:`DistributedSampleResult` is available — the telemetry
+    hook the unified engine (:mod:`repro.api`) exposes for serving.  It
+    never affects the output.
     """
     config = config if config is not None else SparsifierConfig()
     eps = config.epsilon if epsilon is None else float(epsilon)
@@ -331,6 +338,8 @@ def distributed_parallel_sparsify(
             current, epsilon=per_round_eps, config=config, seed=round_rngs[i]
         )
         rounds.append(result)
+        if on_round is not None:
+            on_round(i + 1, result)
         total = total + result.cost
         current = result.sparsifier.coalesce()
         if result.degenerate and stop_on_degenerate:

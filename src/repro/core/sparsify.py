@@ -23,7 +23,7 @@ epsilon budget.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
@@ -100,6 +100,7 @@ def parallel_sparsify(
     seed: SeedLike = None,
     coalesce_between_rounds: bool = True,
     stop_on_degenerate: bool = True,
+    on_round: Optional[Callable[[RoundRecord], None]] = None,
 ) -> SparsifyResult:
     """Run Algorithm 2 (``PARALLELSPARSIFY``) on ``graph``.
 
@@ -131,6 +132,11 @@ def parallel_sparsify(
     stop_on_degenerate:
         Stop iterating once a round cannot reduce the graph any further
         (its bundle absorbed every edge).
+    on_round:
+        Optional progress callback invoked with each :class:`RoundRecord`
+        as soon as its round completes — the telemetry hook the unified
+        engine (:mod:`repro.api`) exposes for serving.  The callback
+        never affects the output; exceptions it raises propagate.
 
     Returns
     -------
@@ -162,20 +168,21 @@ def parallel_sparsify(
             seed=round_rngs[round_index],
             tracker=round_tracker,
         )
-        records.append(
-            RoundRecord(
-                round_index=round_index + 1,
-                epsilon=per_round_eps,
-                t=result.t,
-                input_edges=result.input_edges,
-                output_edges=result.output_edges,
-                bundle_edges=int(result.bundle_edge_indices.shape[0]),
-                sampled_edges=int(result.sampled_edge_indices.shape[0]),
-                degenerate=result.degenerate,
-                work=round_tracker.total.work,
-                depth=round_tracker.total.depth,
-            )
+        record = RoundRecord(
+            round_index=round_index + 1,
+            epsilon=per_round_eps,
+            t=result.t,
+            input_edges=result.input_edges,
+            output_edges=result.output_edges,
+            bundle_edges=int(result.bundle_edge_indices.shape[0]),
+            sampled_edges=int(result.sampled_edge_indices.shape[0]),
+            degenerate=result.degenerate,
+            work=round_tracker.total.work,
+            depth=round_tracker.total.depth,
         )
+        records.append(record)
+        if on_round is not None:
+            on_round(record)
         tracker.merge_from(round_tracker)
         current = result.sparsifier
         if coalesce_between_rounds:

@@ -46,5 +46,13 @@ class BackendError(ReproError):
     """An execution backend was misconfigured or could not be resolved."""
 
 
+class MethodError(ReproError):
+    """A sparsifier method name could not be resolved or was registered twice."""
+
+
+class RequestError(ReproError):
+    """A :class:`repro.api.SparsifyRequest` failed validation or deserialisation."""
+
+
 class MessageTooLargeError(SimulationError):
     """A distributed message exceeded the O(log n) size budget of the model."""

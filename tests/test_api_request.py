@@ -1,0 +1,142 @@
+"""Tests for the unified request model (repro.api.request)."""
+
+import json
+
+import pytest
+
+from repro.api import SparsifyRequest
+from repro.core.config import SparsifierConfig
+from repro.exceptions import RequestError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        request = SparsifyRequest()
+        assert request.method == "koutis"
+        assert request.epsilon is None
+        assert request.rho == 4.0
+        assert request.options == {}
+
+    def test_rejects_empty_method(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest(method="")
+
+    def test_rejects_non_string_method(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest(method=3)
+
+    @pytest.mark.parametrize("epsilon", [0.0, -0.1, 1.5, "half"])
+    def test_rejects_bad_epsilon(self, epsilon):
+        with pytest.raises(RequestError):
+            SparsifyRequest(epsilon=epsilon)
+
+    def test_rejects_bad_rho(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest(rho=0.5)
+
+    def test_rejects_non_config(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest(config={"epsilon": 0.5})
+
+    def test_rejects_bad_workers_and_shards(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest(max_workers=0)
+        with pytest.raises(RequestError):
+            SparsifyRequest(num_shards=0)
+
+    def test_rejects_non_integer_seed(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest(seed="entropy")
+        with pytest.raises(RequestError):
+            SparsifyRequest(seed=True)
+
+    def test_rejects_non_string_option_keys(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest(options={1: "x"})
+
+    def test_is_immutable(self):
+        request = SparsifyRequest(seed=1)
+        with pytest.raises(Exception):
+            request.seed = 2
+
+    def test_options_are_copied(self):
+        payload = {"probability": 0.5}
+        request = SparsifyRequest(options=payload)
+        payload["probability"] = 0.9
+        assert request.options == {"probability": 0.5}
+
+    def test_unknown_method_allowed_at_construction(self):
+        # Mirrors SparsifierConfig.backend: existence is checked when the
+        # engine resolves the request, so requests can predate registration.
+        request = SparsifyRequest(method="not-yet-registered")
+        assert request.method == "not-yet-registered"
+
+
+class TestResolvedConfig:
+    def test_default_config(self):
+        assert SparsifyRequest().resolved_config() == SparsifierConfig()
+
+    def test_execution_overrides_apply(self):
+        request = SparsifyRequest(backend="thread", max_workers=3, num_shards=4)
+        config = request.resolved_config()
+        assert config.backend == "thread"
+        assert config.max_workers == 3
+        assert config.num_shards == 4
+
+    def test_config_fields_survive_overrides(self):
+        base = SparsifierConfig(bundle_t=2, mode="practical", num_shards=2)
+        request = SparsifyRequest(config=base, backend="thread")
+        config = request.resolved_config()
+        assert config.bundle_t == 2
+        assert config.backend == "thread"
+        assert config.num_shards == 2  # not overridden: request.num_shards is None
+
+    def test_with_overrides(self):
+        request = SparsifyRequest(seed=1).with_overrides(seed=2, method="uniform")
+        assert request.seed == 2
+        assert request.method == "uniform"
+
+
+class TestRoundTrip:
+    def test_exact_round_trip_defaults(self):
+        request = SparsifyRequest()
+        assert SparsifyRequest.from_dict(request.to_dict()) == request
+
+    def test_exact_round_trip_full(self):
+        request = SparsifyRequest(
+            method="koutis-distributed",
+            epsilon=0.25,
+            rho=8.0,
+            config=SparsifierConfig(bundle_t=3, num_shards=2, backend="thread"),
+            backend="serial",
+            max_workers=2,
+            num_shards=4,
+            seed=123,
+            certify=True,
+            options={"stop_on_degenerate": False},
+        )
+        assert SparsifyRequest.from_dict(request.to_dict()) == request
+
+    def test_round_trip_through_json_text(self):
+        request = SparsifyRequest(
+            method="uniform", epsilon=0.5, seed=7, options={"probability": 0.3}
+        )
+        text = json.dumps(request.to_dict())
+        assert SparsifyRequest.from_dict(json.loads(text)) == request
+
+    def test_from_dict_accepts_partial(self):
+        request = SparsifyRequest.from_dict({"method": "uniform", "seed": 1})
+        assert request.method == "uniform"
+        assert request.rho == 4.0
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(RequestError, match="sharls"):
+            SparsifyRequest.from_dict({"method": "koutis", "sharls": 4})
+
+    def test_from_dict_rejects_bad_config_payload(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest.from_dict({"config": {"no_such_knob": 1}})
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(RequestError):
+            SparsifyRequest.from_dict(["koutis"])

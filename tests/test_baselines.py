@@ -5,7 +5,7 @@ import pytest
 
 from repro.baselines.kapralov_panigrahi import kapralov_panigrahi_sparsify, kp_sample_count
 from repro.baselines.spielman_srivastava import spielman_srivastava_sparsify, ss_sample_count
-from repro.baselines.uniform import uniform_sparsify
+from repro.baselines.uniform import uniform_probability_for_epsilon, uniform_sparsify
 from repro.core.certificates import certify_approximation
 from repro.exceptions import SparsificationError
 from repro.graphs import generators as gen
@@ -23,8 +23,8 @@ class TestSpielmanSrivastava:
 
     def test_distinct_edges_bounded_by_samples(self, medium_er_graph):
         result = spielman_srivastava_sparsify(medium_er_graph, epsilon=0.5, num_samples=500, seed=2)
-        assert result.distinct_edges <= 500
-        assert result.sparsifier.num_edges == result.distinct_edges
+        assert result.output_edges <= 500
+        assert result.sparsifier.num_edges == result.output_edges
 
     def test_sample_count_formula(self):
         assert ss_sample_count(100, 1.0, constant=1.0) == int(np.ceil(100 * np.log(100)))
@@ -95,6 +95,64 @@ class TestUniform:
             if not is_connected(result.sparsifier):
                 disconnections += 1
         assert disconnections > 0
+
+
+class TestUniformEpsilonPath:
+    def test_epsilon_derives_probability(self):
+        g = gen.erdos_renyi_graph(150, 0.4, seed=0, ensure_connected=True)
+        result = uniform_sparsify(g, epsilon=0.5, seed=1)
+        assert result.epsilon == 0.5
+        assert result.probability == uniform_probability_for_epsilon(g, 0.5)
+        assert 0 < result.probability <= 1
+
+    def test_epsilon_budget_matches_ss_budget(self):
+        # The derived keep-probability targets the SS sample count, so the
+        # expected kept-edge count matches the importance samplers' budget.
+        g = gen.erdos_renyi_graph(150, 0.4, seed=0, ensure_connected=True)
+        p = uniform_probability_for_epsilon(g, 0.5)
+        assert p * g.num_edges == pytest.approx(
+            min(g.num_edges, ss_sample_count(g.num_vertices, 0.5))
+        )
+
+    def test_sparse_graph_keeps_everything(self):
+        g = gen.grid_graph(6, 6)  # far below the eps budget
+        assert uniform_probability_for_epsilon(g, 0.5) == 1.0
+
+    def test_probability_and_epsilon_are_exclusive(self, small_er_graph):
+        with pytest.raises(SparsificationError):
+            uniform_sparsify(small_er_graph, probability=0.5, epsilon=0.5)
+
+    def test_epsilon_validation(self, small_er_graph):
+        with pytest.raises(SparsificationError):
+            uniform_sparsify(small_er_graph, epsilon=0.0)
+
+    def test_default_still_quarter(self, small_er_graph):
+        assert uniform_sparsify(small_er_graph, seed=0).probability == 0.25
+
+
+class TestUnifiedResultAccessors:
+    """All three baseline results expose the same accessor set."""
+
+    def _results(self, graph):
+        return [
+            spielman_srivastava_sparsify(graph, epsilon=0.5, seed=1),
+            uniform_sparsify(graph, probability=0.5, seed=1),
+            kapralov_panigrahi_sparsify(graph, epsilon=0.5, seed=1),
+        ]
+
+    def test_shared_accessors(self, small_er_graph):
+        for result in self._results(small_er_graph):
+            assert result.input_edges == small_er_graph.num_edges
+            assert result.output_edges == result.sparsifier.num_edges
+            assert result.num_edges == result.sparsifier.num_edges
+            assert result.reduction_factor >= 1.0
+
+    def test_deprecated_distinct_edges_shims(self, small_er_graph):
+        ss = spielman_srivastava_sparsify(small_er_graph, epsilon=0.5, seed=1)
+        kp = kapralov_panigrahi_sparsify(small_er_graph, epsilon=0.5, seed=1)
+        for result in (ss, kp):
+            with pytest.warns(DeprecationWarning, match="distinct_edges"):
+                assert result.distinct_edges == result.output_edges
 
 
 class TestKapralovPanigrahi:

@@ -23,15 +23,39 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
-    def test_sparsify_defaults(self):
+    def test_sparsify_defaults_are_unset_sentinels(self):
+        # None means "not given": explicit flag > --config file > built-in
+        # default (0.5 / 4.0 / practical / seed 0), resolved by the engine.
         args = build_parser().parse_args(["sparsify", "in.txt", "out.txt"])
-        assert args.epsilon == 0.5
-        assert args.rho == 4.0
-        assert args.mode == "practical"
+        assert args.method is None
+        assert args.epsilon is None
+        assert args.rho is None
+        assert args.mode is None
         assert not args.tree_bundle
         assert args.backend is None
         assert args.workers is None
-        assert args.shards == 1
+        assert args.shards is None
+        assert args.seed is None
+        assert args.config is None
+
+    def test_sparsify_method_flag(self):
+        args = build_parser().parse_args(
+            ["sparsify", "in.txt", "out.txt", "--method", "spielman-srivastava"]
+        )
+        assert args.method == "spielman-srivastava"
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sparsify", "a", "b", "--method", "quantum"])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "in.txt"])
+        assert args.methods is None
+        assert not args.certify
+
+    def test_compare_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "in.txt", "--methods", "koutis", "quantum"])
 
     def test_sparsify_execution_flags(self):
         args = build_parser().parse_args(
@@ -94,6 +118,84 @@ class TestSparsifyCommand:
         assert code == 0
         assert read_edge_list(out_path).num_edges <= graph.num_edges
 
+    def test_method_flag_runs_baseline(self, edge_list_file, tmp_path, capsys):
+        in_path, graph = edge_list_file
+        out_path = tmp_path / "ss.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--method", "spielman-srivastava", "--epsilon", "0.5", "--seed", "3",
+        ])
+        assert code == 0
+        output = read_edge_list(out_path)
+        assert output.num_vertices == graph.num_vertices
+        assert "method: spielman-srivastava" in capsys.readouterr().out
+
+    def test_method_output_matches_legacy_function(self, edge_list_file, tmp_path):
+        from repro.core.sparsify import parallel_sparsify
+
+        in_path, graph = edge_list_file
+        out_path = tmp_path / "engine.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--method", "koutis", "--bundle-t", "2", "--seed", "11",
+        ])
+        assert code == 0
+        from repro.core.config import SparsifierConfig
+
+        legacy = parallel_sparsify(
+            graph, epsilon=0.5, rho=4.0, config=SparsifierConfig(bundle_t=2), seed=11
+        )
+        written = read_edge_list(out_path)
+        assert np.array_equal(written.edge_u, legacy.sparsifier.edge_u)
+        assert np.array_equal(written.edge_v, legacy.sparsifier.edge_v)
+
+    def test_config_file_drives_request(self, edge_list_file, tmp_path, capsys):
+        import json
+
+        in_path, _ = edge_list_file
+        request_path = tmp_path / "req.json"
+        request_path.write_text(json.dumps({
+            "method": "uniform", "seed": 9, "options": {"probability": 0.5},
+        }))
+        out_path = tmp_path / "from_config.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path), "--config", str(request_path),
+        ])
+        assert code == 0
+        assert "method: uniform" in capsys.readouterr().out
+
+    def test_explicit_flags_override_config_file(self, edge_list_file, tmp_path, capsys):
+        import json
+
+        in_path, _ = edge_list_file
+        request_path = tmp_path / "req.json"
+        request_path.write_text(json.dumps({"method": "uniform", "seed": 9}))
+        out_path = tmp_path / "override.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--config", str(request_path), "--method", "koutis", "--bundle-t", "1",
+        ])
+        assert code == 0
+        assert "method: koutis" in capsys.readouterr().out
+
+    def test_method_override_drops_stale_file_options(self, edge_list_file, tmp_path, capsys):
+        import json
+
+        in_path, _ = edge_list_file
+        request_path = tmp_path / "req.json"
+        # probability is a uniform-specific option; overriding the method
+        # must not forward it to koutis as an unexpected keyword.
+        request_path.write_text(json.dumps({
+            "method": "uniform", "seed": 9, "options": {"probability": 0.5},
+        }))
+        out_path = tmp_path / "override_opts.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--config", str(request_path), "--method", "koutis", "--bundle-t", "1",
+        ])
+        assert code == 0
+        assert "method: koutis" in capsys.readouterr().out
+
 
 class TestBatchCommand:
     def test_batch_writes_every_sparsifier(self, tmp_path, capsys):
@@ -150,6 +252,97 @@ class TestBatchCommand:
         ])
         assert code == 0
         assert read_edge_list(out_dir / "grid.sparsified.txt").num_edges > 0
+
+
+class TestCompareCommand:
+    def test_side_by_side_table(self, edge_list_file, capsys):
+        in_path, graph = edge_list_file
+        code = main([
+            "compare", str(in_path),
+            "--methods", "koutis", "uniform", "spielman-srivastava",
+            "--bundle-t", "2", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Method comparison" in out
+        for column in ("method", "kept_m", "reduction", "wall_s"):
+            assert column in out
+        for name in ("koutis", "uniform", "spielman-srivastava"):
+            assert name in out
+
+    def test_default_method_set(self, edge_list_file, capsys):
+        in_path, _ = edge_list_file
+        code = main(["compare", str(in_path), "--bundle-t", "1", "--seed", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "kapralov-panigrahi" in out
+
+    def test_certify_fills_certificate_columns(self, edge_list_file, capsys):
+        in_path, _ = edge_list_file
+        code = main([
+            "compare", str(in_path), "--methods", "koutis", "uniform",
+            "--bundle-t", "2", "--seed", "5", "--certify",
+        ])
+        assert code == 0
+        table = capsys.readouterr().out
+        # With --certify the cert columns hold numbers, not "-" placeholders.
+        data_rows = [
+            line for line in table.splitlines()
+            if line.startswith(("koutis", "uniform"))
+        ]
+        assert data_rows and all("-" not in row.split()[5] for row in data_rows)
+
+    def test_requires_two_methods(self, edge_list_file):
+        from repro.exceptions import ReproError
+
+        in_path, _ = edge_list_file
+        with pytest.raises(ReproError, match="at least two"):
+            main(["compare", str(in_path), "--methods", "koutis"])
+
+    def test_honours_config_file_execution_fields(self, edge_list_file, tmp_path, capsys):
+        """compare must see the same sparsifier the sparsify subcommand
+        writes for the same --config (num_shards is part of the algorithm)."""
+        import json
+
+        from repro.graphs.io import read_edge_list as read
+
+        in_path, _ = edge_list_file
+        request_path = tmp_path / "req.json"
+        request_path.write_text(json.dumps({
+            "num_shards": 4, "seed": 6, "config": {"bundle_t": 2},
+        }))
+        out_path = tmp_path / "sharded.txt"
+        assert main(["sparsify", str(in_path), str(out_path),
+                     "--config", str(request_path)]) == 0
+        written = read(out_path)
+        capsys.readouterr()
+        assert main(["compare", str(in_path), "--config", str(request_path),
+                     "--methods", "koutis", "uniform"]) == 0
+        table = capsys.readouterr().out
+        koutis_row = next(line for line in table.splitlines() if line.startswith("koutis"))
+        assert f" {written.num_edges} " in koutis_row
+
+    def test_rejects_method_specific_options(self, edge_list_file, tmp_path):
+        import json
+
+        from repro.exceptions import ReproError
+
+        in_path, _ = edge_list_file
+        request_path = tmp_path / "req.json"
+        request_path.write_text(json.dumps({"options": {"probability": 0.5}}))
+        with pytest.raises(ReproError, match="ambiguous"):
+            main(["compare", str(in_path), "--config", str(request_path),
+                  "--methods", "koutis", "uniform"])
+
+    def test_accepts_method_aliases(self, edge_list_file, tmp_path, capsys):
+        in_path, _ = edge_list_file
+        out_path = tmp_path / "alias.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path), "--method", "ss", "--seed", "1",
+        ])
+        assert code == 0
+        # The engine reports the canonical name for the alias.
+        assert "method: spielman-srivastava" in capsys.readouterr().out
 
 
 class TestSpannerCommand:

@@ -74,6 +74,7 @@ class TestPublicAPI:
     "script",
     [
         "quickstart.py",
+        "method_comparison.py",
         "distributed_sparsification.py",
         "sdd_solver_demo.py",
         "image_affinity_sparsification.py",
