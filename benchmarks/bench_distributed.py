@@ -6,18 +6,44 @@ a t-bundle multiplies rounds and messages by t.
 
 Measured: rounds, total messages, and the largest message (in words) from
 the simulator, across graph sizes and bundle sizes.
+
+Run directly, this file is also the round-engine benchmark: it times the
+reference per-node simulator against the columnar engine
+(:mod:`repro.parallel.congest`) on banded and power-law graphs up to
+n = 4096, hard-asserts bit-identical spanner selections and identical
+cost triples per pair, and persists ``BENCH_distributed.json``.  Timing
+*assertions* (>= 5x at n = 2048) are gated on
+``REPRO_BENCH_ASSERT_SPEEDUP=1`` — the CI container has a single usable
+CPU and its timing noise should not fail the build; the JSON always
+records the measured speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py           # full matrix
+    PYTHONPATH=src python benchmarks/bench_distributed.py --smoke   # tiny, CI
 """
 
+import argparse
+import json
+import os
 import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import er_graph, print_table
+try:
+    from benchmarks.conftest import er_graph, print_table
+except ImportError:  # direct execution: sys.path[0] is benchmarks/ itself
+    from conftest import er_graph, print_table
 from repro.analysis.reporting import ExperimentTable
 from repro.core.config import SparsifierConfig
 from repro.core.distributed_sparsify import distributed_parallel_sample
-from repro.spanners.distributed_spanner import distributed_baswana_sen_spanner
+from repro.graphs import generators as gen
+from repro.spanners.distributed_spanner import (
+    distributed_baswana_sen_spanner,
+    distributed_bundle_spanner,
+)
 
 
 def _distributed_spanner_sweep():
@@ -134,3 +160,154 @@ def test_e2_distributed_bundle_costs(benchmark, er_200):
     # Message size stays in the O(log n) budget regardless of t.
     for _, result in rows:
         assert result.cost.max_message_words <= 4 * int(np.ceil(np.log2(er_200.num_vertices))) + 16
+
+
+# --------------------------------------------------------------------- #
+# Round-engine benchmark CLI: reference simulator vs columnar engine.
+# --------------------------------------------------------------------- #
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_distributed.json"
+SMOKE_RESULT_PATH = REPO_ROOT / "BENCH_distributed_smoke.json"
+SEED = 20140623  # SPAA'14
+
+
+def build_graph(scenario: str, n: int):
+    if scenario == "banded":
+        return gen.banded_graph(n, 12)
+    if scenario == "powerlaw":
+        return gen.barabasi_albert_graph(n, 8, seed=SEED)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def run_spanner_case(scenario: str, n: int) -> dict:
+    """Time one distributed spanner on both engines; assert exact parity."""
+    graph = build_graph(scenario, n)
+    ref, ref_s = _timed(distributed_baswana_sen_spanner, graph, seed=SEED + n, engine="reference")
+    col, col_s = _timed(distributed_baswana_sen_spanner, graph, seed=SEED + n, engine="columnar")
+    assert np.array_equal(ref.edge_indices, col.edge_indices), (
+        f"engine outputs drifted on {scenario} n={n}"
+    )
+    assert ref.cost == col.cost, f"cost triples drifted on {scenario} n={n}"
+    return {
+        "scenario": scenario,
+        "n": n,
+        "m": graph.num_edges,
+        "workload": "spanner",
+        "t": 1,
+        "reference_seconds": round(ref_s, 4),
+        "columnar_seconds": round(col_s, 4),
+        "speedup": round(ref_s / max(col_s, 1e-9), 2),
+        "rounds": col.cost.rounds,
+        "messages": col.cost.messages,
+        "max_message_words": col.cost.max_message_words,
+    }
+
+
+def run_bundle_case(scenario: str, n: int, t: int) -> dict:
+    """Time one t-bundle peel on both engines; assert exact parity."""
+    graph = build_graph(scenario, n).coalesce()
+    ref, ref_s = _timed(distributed_bundle_spanner, graph, t=t, seed=SEED + t, engine="reference")
+    col, col_s = _timed(distributed_bundle_spanner, graph, t=t, seed=SEED + t, engine="columnar")
+    assert np.array_equal(ref.edge_indices, col.edge_indices), (
+        f"bundle outputs drifted on {scenario} n={n} t={t}"
+    )
+    assert ref.cost == col.cost, f"bundle cost triples drifted on {scenario} n={n} t={t}"
+    return {
+        "scenario": scenario,
+        "n": n,
+        "m": graph.num_edges,
+        "workload": "t-bundle",
+        "t": t,
+        "reference_seconds": round(ref_s, 4),
+        "columnar_seconds": round(col_s, 4),
+        "speedup": round(ref_s / max(col_s, 1e-9), 2),
+        "rounds": col.cost.rounds,
+        "messages": col.cost.messages,
+        "max_message_words": col.cost.max_message_words,
+    }
+
+
+def check_determinism(graph) -> bool:
+    """Two columnar runs with one seed must select identical edges."""
+    first = distributed_baswana_sen_spanner(graph, seed=SEED, engine="columnar")
+    second = distributed_baswana_sen_spanner(graph, seed=SEED, engine="columnar")
+    return bool(np.array_equal(first.edge_indices, second.edge_indices)) and (
+        first.cost == second.cost
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: assert engine parity + JSON emission, no timing claims",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="override output JSON path")
+    args = parser.parse_args()
+
+    scenarios = ["banded", "powerlaw"]
+    if args.smoke:
+        sizes = [64]
+        bundle_cases = [("banded", 64, 2)]
+        out_path = args.out or SMOKE_RESULT_PATH
+    else:
+        sizes = [512, 1024, 2048, 4096]
+        bundle_cases = [("banded", 1024, 4), ("powerlaw", 1024, 4)]
+        out_path = args.out or RESULT_PATH
+
+    rows = []
+    for scenario in scenarios:
+        for n in sizes:
+            rows.append(run_spanner_case(scenario, n))
+    for scenario, n, t in bundle_cases:
+        rows.append(run_bundle_case(scenario, n, t))
+
+    table = ExperimentTable(
+        "distributed-round-engine",
+        [
+            "scenario", "n", "m", "workload", "t",
+            "reference_seconds", "columnar_seconds", "speedup",
+            "rounds", "messages", "max_message_words",
+        ],
+    )
+    for row in rows:
+        table.add_row(**row)
+    print(table.render())
+
+    deterministic = check_determinism(build_graph("banded", 64))
+    assert deterministic, "columnar engine is not deterministic for a fixed seed"
+
+    assert_speedup = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1"
+    if assert_speedup and not args.smoke:
+        # Acceptance workload: >= 5x on both n=2048 spanner scenarios.
+        for row in rows:
+            if row["n"] == 2048 and row["workload"] == "spanner":
+                assert row["speedup"] >= 5.0, (
+                    f"expected >=5x on {row['scenario']} n=2048, got {row['speedup']}x"
+                )
+
+    payload = {
+        "experiment": "distributed-round-engine",
+        "seed": SEED,
+        "smoke": args.smoke,
+        "speedup_asserted": assert_speedup and not args.smoke,
+        "bit_identical_across_engines": True,  # hard-asserted per row above
+        "deterministic": deterministic,
+        "results": rows,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    parsed = json.loads(out_path.read_text())
+    assert parsed["results"], f"no benchmark rows written to {out_path}"
+    print(f"\nwrote {out_path} ({len(rows)} rows)")
+
+
+if __name__ == "__main__":
+    main()

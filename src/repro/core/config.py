@@ -91,6 +91,13 @@ class SparsifierConfig:
         Note that the shard count (unlike the backend) is part of the
         algorithm: different ``num_shards`` values give different (equally
         valid) sparsifiers.
+    distributed_engine:
+        Round engine for the synchronous CONGEST simulation backing the
+        distributed pipeline: ``"columnar"`` (default, the vectorized
+        engine of :mod:`repro.parallel.congest`) or ``"reference"`` (the
+        per-node object simulator).  Like the backend, the engine never
+        changes outputs or measured rounds/messages — only wall-clock —
+        which the engine-parity tests pin down.
     """
 
     epsilon: float = 0.5
@@ -106,6 +113,7 @@ class SparsifierConfig:
     backend: Optional[str] = None
     max_workers: Optional[int] = None
     num_shards: int = 1
+    distributed_engine: str = "columnar"
 
     def __post_init__(self) -> None:
         check_epsilon(self.epsilon, "epsilon")
@@ -134,6 +142,11 @@ class SparsifierConfig:
             raise SparsificationError("max_workers must be >= 1 when given")
         if self.num_shards < 1:
             raise SparsificationError("num_shards must be >= 1")
+        if self.distributed_engine not in ("columnar", "reference"):
+            raise SparsificationError(
+                "distributed_engine must be 'columnar' or 'reference', "
+                f"got {self.distributed_engine!r}"
+            )
 
     # ------------------------------------------------------------------ #
 

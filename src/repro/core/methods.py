@@ -9,7 +9,10 @@ Registers the three core entry points with the unified method registry
 ``koutis-distributed``
     :func:`repro.core.distributed_sparsify.distributed_parallel_sparsify`
     — the same pipeline executed on the synchronous CONGEST simulator,
-    with measured rounds/messages.
+    with measured rounds/messages.  Runs on the columnar round engine by
+    default; pass a config with ``distributed_engine="reference"`` to
+    execute on the per-node object simulator instead (identical outputs
+    and cost triples, slower wall-clock).
 ``koutis-batch``
     :func:`repro.core.batch.sparsify_many` run as a single-job batch —
     registered so the batch API participates in method comparisons and

@@ -19,6 +19,10 @@ this subpackage provides the cost models themselves:
 * :mod:`repro.parallel.distributed` — an actual synchronous message-passing
   simulator: per-node programs exchange size-limited messages in lock-step
   rounds, and the simulator counts rounds/messages/sizes (Corollary 3);
+* :mod:`repro.parallel.congest` — the columnar round engine for the same
+  model: one round is a handful of flat NumPy passes over struct-of-arrays
+  message buffers, with identical accounting and word-limit enforcement
+  (the reference simulator above stays as the semantic ground truth);
 * :mod:`repro.parallel.backends` — pluggable execution backends
   (serial / thread / process) that actually run shard- and job-level
   fan-outs concurrently, with a process-wide default registry;
@@ -39,6 +43,12 @@ from repro.parallel.distributed import (
     Message,
     NodeContext,
     NodeProgram,
+)
+from repro.parallel.congest import (
+    ColumnarProgram,
+    ColumnarSimulationResult,
+    ColumnarSimulator,
+    MessageBlock,
 )
 from repro.parallel.backends import (
     ExecutionBackend,
@@ -63,6 +73,10 @@ __all__ = [
     "Message",
     "NodeContext",
     "NodeProgram",
+    "ColumnarProgram",
+    "ColumnarSimulationResult",
+    "ColumnarSimulator",
+    "MessageBlock",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadBackend",

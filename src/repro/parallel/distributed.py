@@ -201,7 +201,15 @@ class DistributedSimulator:
         program: NodeProgram,
         max_rounds: int = 10_000,
     ) -> SimulationResult:
-        """Run ``program`` on every node until all finish or ``max_rounds``."""
+        """Run ``program`` on every node until all finish or ``max_rounds``.
+
+        Counters are reset at the start of every call, so ``cost`` and the
+        per-round histogram always describe the most recent run; costs of
+        successive runs on one simulator no longer bleed into each other
+        (the same per-call-delta rule the spanner results apply to shared
+        PRAM trackers).
+        """
+        self.reset_counters()
         n = self.graph.num_vertices
         for ctx in self.contexts:
             program.initialize(ctx)
@@ -257,6 +265,7 @@ class DistributedSimulator:
         )
 
     def reset_counters(self) -> None:
+        """Zero the per-run counters (``run`` calls this automatically)."""
         self._total_messages = 0
         self._max_message_words = 0
         self._rounds = 0

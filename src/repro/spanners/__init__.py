@@ -15,7 +15,11 @@ Modules
     implementation with PRAM cost accounting.
 ``distributed_spanner``
     The same algorithm expressed as a per-node program on the synchronous
-    distributed simulator.
+    distributed simulator, with a selectable round engine.
+``congest_spanner``
+    The protocol as a columnar array program on
+    :mod:`repro.parallel.congest` — bit-identical outputs and cost
+    triples, orders of magnitude faster stepping.
 ``bundle``
     t-bundle spanner construction (Definition 1, Corollaries 2–3).
 ``greedy``
@@ -36,7 +40,11 @@ from repro.spanners.verification import (
     verify_spanner,
     repair_spanner,
 )
-from repro.spanners.distributed_spanner import distributed_baswana_sen_spanner
+from repro.spanners.congest_spanner import ColumnarBaswanaSenProgram
+from repro.spanners.distributed_spanner import (
+    distributed_baswana_sen_spanner,
+    distributed_bundle_spanner,
+)
 
 __all__ = [
     "SpannerResult",
@@ -51,4 +59,6 @@ __all__ = [
     "verify_spanner",
     "repair_spanner",
     "distributed_baswana_sen_spanner",
+    "distributed_bundle_spanner",
+    "ColumnarBaswanaSenProgram",
 ]

@@ -35,9 +35,10 @@ from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
-from repro.exceptions import GraphError
+from repro.exceptions import GraphError, SimulationError
 from repro.graphs.graph import Graph
 from repro.graphs.views import EdgeSubset
+from repro.parallel.congest import ColumnarSimulator
 from repro.parallel.distributed import (
     DistributedSimulator,
     Message,
@@ -46,14 +47,30 @@ from repro.parallel.distributed import (
 )
 from repro.parallel.metrics import DistributedCost
 from repro.spanners.baswana_sen import _sorted_membership
+from repro.spanners.congest_spanner import ColumnarBaswanaSenProgram, build_schedule
 from repro.utils.rng import RandomState, SeedLike, as_rng, split_rng
 
 __all__ = [
     "DistributedSpannerResult",
     "DistributedBundleResult",
+    "DISTRIBUTED_ENGINES",
     "distributed_baswana_sen_spanner",
     "distributed_bundle_spanner",
 ]
+
+#: Round-engine implementations of the protocol.  ``"columnar"`` is the
+#: vectorized engine (:mod:`repro.parallel.congest`); ``"reference"`` is
+#: the per-node object simulator, kept as the semantic ground truth the
+#: parity tests compare against.
+DISTRIBUTED_ENGINES = ("columnar", "reference")
+
+
+def _check_engine(engine: str) -> str:
+    if engine not in DISTRIBUTED_ENGINES:
+        raise SimulationError(
+            f"unknown distributed engine {engine!r}; expected one of {DISTRIBUTED_ENGINES}"
+        )
+    return engine
 
 
 @dataclass
@@ -87,15 +104,9 @@ class DistributedSpannerResult:
     completed: bool
 
 
-def _build_schedule(k: int) -> List[Tuple[str, int]]:
-    """Per-round phase labels: ('flood', iteration) / ('decide', iteration) / final phases."""
-    schedule: List[Tuple[str, int]] = []
-    for iteration in range(1, k):
-        schedule.extend([("flood", iteration)] * (iteration + 1))
-        schedule.append(("decide", iteration))
-    schedule.append(("final_exchange", k))
-    schedule.append(("final_decide", k))
-    return schedule
+# Shared with the columnar engine: both programs follow the same per-round
+# phase labels, which is what makes their cost triples comparable at all.
+_build_schedule = build_schedule
 
 
 class _BaswanaSenProgram(NodeProgram):
@@ -287,6 +298,7 @@ def distributed_baswana_sen_spanner(
     k: Optional[int] = None,
     seed: SeedLike = None,
     max_rounds: Optional[int] = None,
+    engine: str = "columnar",
 ) -> DistributedSpannerResult:
     """Run the distributed Baswana–Sen protocol and collect the spanner.
 
@@ -302,25 +314,41 @@ def distributed_baswana_sen_spanner(
     max_rounds:
         Safety cap on rounds; defaults to a generous multiple of the
         schedule length.
+    engine:
+        ``"columnar"`` (default) runs the vectorized round engine;
+        ``"reference"`` runs the per-node object simulator.  Both produce
+        the same spanner, the same ``DistributedCost`` triple, and the
+        same per-round message histogram for a fixed seed — the engine
+        only changes the wall clock.
     """
+    _check_engine(engine)
     simple = graph.coalesce()
     n = simple.num_vertices
     if k is None:
         k = max(1, int(np.ceil(np.log2(max(n, 2)))))
-    program = _BaswanaSenProgram(n, k)
-    schedule_length = len(program.schedule)
-    simulator = DistributedSimulator(simple, seed=seed)
-    result = simulator.run(program, max_rounds=max_rounds or (schedule_length + 4))
+    schedule_length = len(build_schedule(k))
+    cap = max_rounds or (schedule_length + 4)
 
-    pairs: Set[Tuple[int, int]] = set()
-    for node_pairs in result.outputs.values():
-        pairs.update(node_pairs)
-    if pairs:
-        pair_array = np.asarray(sorted(pairs), dtype=np.int64)
-        wanted_keys = pair_array[:, 0] * np.int64(n) + pair_array[:, 1]
-        edge_indices = np.flatnonzero(
-            _sorted_membership(wanted_keys, simple.edge_keys())
-        )
+    if engine == "columnar":
+        columnar = ColumnarSimulator(simple, seed=seed)
+        run = columnar.run(ColumnarBaswanaSenProgram(n, k), max_rounds=cap)
+        wanted_keys = run.outputs  # sorted unique lo * n + hi keys
+        cost, completed = run.cost, run.completed
+    else:
+        simulator = DistributedSimulator(simple, seed=seed)
+        result = simulator.run(_BaswanaSenProgram(n, k), max_rounds=cap)
+        pairs: Set[Tuple[int, int]] = set()
+        for node_pairs in result.outputs.values():
+            pairs.update(node_pairs)
+        if pairs:
+            pair_array = np.asarray(sorted(pairs), dtype=np.int64)
+            wanted_keys = pair_array[:, 0] * np.int64(n) + pair_array[:, 1]
+        else:
+            wanted_keys = np.empty(0, dtype=np.int64)
+        cost, completed = result.cost, result.completed
+
+    if wanted_keys.size:
+        edge_indices = np.flatnonzero(_sorted_membership(wanted_keys, simple.edge_keys()))
     else:
         edge_indices = np.array([], dtype=np.int64)
 
@@ -330,8 +358,8 @@ def distributed_baswana_sen_spanner(
         simple_graph=simple,
         stretch_target=float(2 * k - 1),
         k=k,
-        cost=result.cost,
-        completed=result.completed,
+        cost=cost,
+        completed=completed,
     )
 
 
@@ -370,6 +398,7 @@ def distributed_bundle_spanner(
     k: Optional[int] = None,
     seed: SeedLike = None,
     component_seeds: Optional[List[RandomState]] = None,
+    engine: str = "columnar",
 ) -> DistributedBundleResult:
     """Build a t-bundle by iterating the distributed Baswana–Sen protocol.
 
@@ -394,7 +423,12 @@ def distributed_bundle_spanner(
     seed / component_seeds:
         Either a single seed (split into ``t`` sub-streams here) or the
         pre-split per-component streams; ``component_seeds`` wins.
+    engine:
+        Round engine for each component's protocol — ``"columnar"``
+        (default) or ``"reference"``; see
+        :func:`distributed_baswana_sen_spanner`.
     """
+    _check_engine(engine)
     if t < 1:
         raise GraphError(f"bundle size t must be >= 1, got {t}")
     if component_seeds is None:
@@ -417,7 +451,7 @@ def distributed_bundle_spanner(
         if remaining.num_edges == 0:
             break
         result = distributed_baswana_sen_spanner(
-            remaining.materialize(), k=k, seed=component_seeds[i]
+            remaining.materialize(), k=k, seed=component_seeds[i], engine=engine
         )
         total_cost = total_cost + result.cost
         completed = completed and result.completed

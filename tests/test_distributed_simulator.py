@@ -166,6 +166,24 @@ class TestSimulator:
         assert result.completed
         assert result.outputs == {}
 
+    def test_second_run_does_not_accumulate_counters(self):
+        """run() resets per-run state: cost reflects the latest run only.
+
+        Previously a second run() on one simulator kept accumulating
+        ``_total_messages`` / ``_messages_per_round`` while ``_rounds``
+        restarted, so ``cost`` mixed runs.
+        """
+        g = gen.cycle_graph(5)
+        sim = DistributedSimulator(g, seed=0)
+        first = sim.run(EchoProgram())
+        second = sim.run(EchoProgram())
+        assert second.cost == first.cost
+        assert second.cost.messages == 10
+        assert second.messages_per_round == first.messages_per_round
+        assert len(second.messages_per_round) == second.rounds_executed
+        # The simulator's own cost property agrees with the last result.
+        assert sim.cost == second.cost
+
     def test_per_node_rngs_are_reproducible(self):
         g = gen.cycle_graph(6)
 
