@@ -1,0 +1,315 @@
+"""Certification-layer benchmark: blocked vs. looped Laplacian solves.
+
+PRs 2 and 4 made *producing* sparsifiers fast at n = 2048–4096; this
+benchmark measures whether *certifying* them keeps up.  Every resistance
+path used to issue one CG solve per pair / per edge / per JL direction in
+a Python loop; they now run through the blocked multi-RHS solver
+(:func:`repro.linalg.cg.laplacian_solve_many`) with deduplicated indicator
+right-hand sides.  Timed head-to-head here:
+
+* **pairs** — probe-pair resistances (the `approximation_report` /
+  `certify_resistances` workload): blocked solve vs. the preserved
+  per-pair loop (:mod:`repro.resistance._reference`).
+* **all-edges** — the leverage-score path behind Spielman–Srivastava
+  sampling: blocked (vertex-indicator columns: n solves instead of m) vs.
+  the per-edge loop, extrapolated from a timed sample of edges (the full
+  loop takes minutes — that is the point), plus the dense-pseudoinverse
+  reference where it is still feasible.
+* **jl-sketch** — approximate resistances: one blocked solve over the
+  whole sign matrix vs. one solve per direction.
+* **ss-end-to-end** — `spielman_srivastava_sparsify` with exact blocked
+  resistances at n = 4096 (was unusable past ``_PINV_LIMIT``).
+
+Every blocked row is parity-checked against its looped counterpart within
+solver tolerance.  Wall-clock *assertions* (>= 5x on the banded n = 2048
+all-edges path) are gated on ``REPRO_BENCH_ASSERT_SPEEDUP=1`` — the CI
+container has a single usable CPU and its timing noise should not fail
+the build; the JSON always records the measured speedups.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_resistance.py           # full matrix
+    PYTHONPATH=src python benchmarks/bench_resistance.py --smoke   # tiny, CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentTable
+from repro.baselines.spielman_srivastava import spielman_srivastava_sparsify
+from repro.graphs import generators as gen
+from repro.resistance._reference import (
+    looped_approximate_resistances,
+    looped_resistances_of_pairs,
+)
+from repro.resistance.approx import approximate_effective_resistances
+from repro.resistance.exact import (
+    effective_resistances_all_edges,
+    effective_resistances_of_pairs,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_resistance.json"
+SMOKE_RESULT_PATH = REPO_ROOT / "BENCH_resistance_smoke.json"
+SEED = 20140623  # SPAA'14
+
+
+def build_graph(scenario: str, n: int):
+    if scenario == "banded":
+        return gen.banded_graph(n, 12)
+    if scenario == "powerlaw":
+        return gen.barabasi_albert_graph(n, 8, seed=SEED)
+    if scenario == "er":
+        p = min(16.0 / n, 0.5)
+        return gen.erdos_renyi_graph(n, p, seed=SEED, ensure_connected=True)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def _timed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+def _max_rel_err(a: np.ndarray, b: np.ndarray) -> float:
+    scale = np.maximum(np.abs(b), 1e-300)
+    return float(np.max(np.abs(a - b) / scale)) if a.size else 0.0
+
+
+def run_pairs_case(scenario: str, n: int, num_pairs: int, tol: float = 1e-10) -> dict:
+    """Probe-pair resistances, blocked vs. the per-pair reference loop."""
+    graph = build_graph(scenario, n)
+    rng = np.random.default_rng(SEED + n)
+    # Duplicate ~1/4 of the pairs: the blocked path dedupes before solving.
+    base = rng.integers(0, n, size=(max(num_pairs * 3 // 4, 1), 2))
+    base = base[base[:, 0] != base[:, 1]]
+    pairs = np.concatenate([base, base[: num_pairs - base.shape[0]]], axis=0)
+    blocked, blocked_s = _timed(
+        effective_resistances_of_pairs, graph, pairs, method="solve", tol=tol
+    )
+    looped, looped_s = _timed(looped_resistances_of_pairs, graph, pairs, tol=tol)
+    err = _max_rel_err(blocked, looped)
+    assert err < 1e-5, f"pairs parity drifted on {scenario} n={n}: {err:.2e}"
+    return {
+        "section": "pairs",
+        "scenario": scenario,
+        "n": n,
+        "m": graph.num_edges,
+        "columns": int(pairs.shape[0]),
+        "blocked_seconds": round(blocked_s, 4),
+        "looped_seconds": round(looped_s, 4),
+        "looped_extrapolated": False,
+        "speedup": round(looped_s / max(blocked_s, 1e-9), 2),
+        "max_rel_err": err,
+    }
+
+
+def run_all_edges_case(
+    scenario: str,
+    n: int,
+    loop_sample: int,
+    tol: float = 1e-10,
+    include_pinv: bool = False,
+) -> dict:
+    """Leverage-score path: blocked all-edges vs. per-edge loop (sampled).
+
+    The looped path is timed on ``loop_sample`` random edges and
+    extrapolated to all m edges — running the real thing takes minutes at
+    n = 2048, which is exactly the bottleneck this PR removes.  Parity is
+    asserted on the sampled edges.
+    """
+    graph = build_graph(scenario, n)
+    m = graph.num_edges
+    blocked, blocked_s = _timed(
+        effective_resistances_all_edges, graph, method="solve", tol=tol
+    )
+    rng = np.random.default_rng(SEED + n + 1)
+    sample = rng.choice(m, size=min(loop_sample, m), replace=False)
+    sample_pairs = np.stack([graph.edge_u[sample], graph.edge_v[sample]], axis=1)
+    looped, sample_s = _timed(looped_resistances_of_pairs, graph, sample_pairs, tol=tol)
+    looped_s = sample_s / sample.size * m
+    err = _max_rel_err(blocked[sample], looped)
+    assert err < 1e-5, f"all-edges parity drifted on {scenario} n={n}: {err:.2e}"
+    row = {
+        "section": "all-edges",
+        "scenario": scenario,
+        "n": n,
+        "m": m,
+        "columns": n,  # vertex-indicator path: n columns instead of m
+        "blocked_seconds": round(blocked_s, 4),
+        "looped_seconds": round(looped_s, 4),
+        "looped_extrapolated": sample.size < m,
+        "looped_sample_edges": int(sample.size),
+        "speedup": round(looped_s / max(blocked_s, 1e-9), 2),
+        "max_rel_err": err,
+    }
+    if include_pinv:
+        pinv_all, pinv_s = _timed(effective_resistances_all_edges, graph, method="pinv")
+        row["pinv_seconds"] = round(pinv_s, 4)
+        row["max_rel_err_vs_pinv"] = _max_rel_err(blocked, pinv_all)
+        assert row["max_rel_err_vs_pinv"] < 1e-5
+    return row
+
+
+def run_jl_case(scenario: str, n: int, num_directions: int, tol: float = 1e-8) -> dict:
+    """JL sketch: one blocked multi-RHS solve vs. one solve per direction.
+
+    The two draw different random sign matrices (blocked draws the whole
+    ``(k, m)`` matrix at once), so parity here is statistical: both are
+    unbiased estimators of the same resistances and their medians must
+    agree loosely.  Exact same-sign parity is pinned in the test suite.
+    """
+    graph = build_graph(scenario, n)
+    with warnings.catch_warnings():
+        # Small direction counts are deliberate here (timing, not accuracy).
+        warnings.simplefilter("ignore", UserWarning)
+        blocked, blocked_s = _timed(
+            approximate_effective_resistances,
+            graph,
+            num_directions=num_directions,
+            seed=SEED,
+            solver_tol=tol,
+        )
+    looped, looped_s = _timed(
+        looped_approximate_resistances,
+        graph,
+        num_directions,
+        seed=SEED,
+        solver_tol=tol,
+    )
+    median_ratio = float(np.median(blocked / np.maximum(looped, 1e-300)))
+    assert 0.5 < median_ratio < 2.0, (
+        f"JL estimates diverged on {scenario} n={n}: median ratio {median_ratio}"
+    )
+    return {
+        "section": "jl-sketch",
+        "scenario": scenario,
+        "n": n,
+        "m": graph.num_edges,
+        "columns": num_directions,
+        "blocked_seconds": round(blocked_s, 4),
+        "looped_seconds": round(looped_s, 4),
+        "looped_extrapolated": False,
+        "speedup": round(looped_s / max(blocked_s, 1e-9), 2),
+        "median_ratio_blocked_vs_looped": round(median_ratio, 4),
+    }
+
+
+def run_ss_case(scenario: str, n: int, loop_sample: int) -> dict:
+    """Spielman–Srivastava end-to-end with exact blocked resistances.
+
+    The looped comparison is the per-edge resistance loop extrapolated to
+    all edges (the sampler itself is a negligible slice of the runtime).
+    """
+    graph = build_graph(scenario, n)
+    m = graph.num_edges
+    result, ss_s = _timed(
+        spielman_srivastava_sparsify, graph, epsilon=0.5, seed=SEED
+    )
+    rng = np.random.default_rng(SEED + 7)
+    sample = rng.choice(m, size=min(loop_sample, m), replace=False)
+    sample_pairs = np.stack([graph.edge_u[sample], graph.edge_v[sample]], axis=1)
+    _, sample_s = _timed(looped_resistances_of_pairs, graph, sample_pairs, tol=1e-8)
+    looped_s = sample_s / sample.size * m
+    return {
+        "section": "ss-end-to-end",
+        "scenario": scenario,
+        "n": n,
+        "m": m,
+        "columns": n,
+        "blocked_seconds": round(ss_s, 4),
+        "looped_seconds": round(looped_s, 4),
+        "looped_extrapolated": True,
+        "looped_sample_edges": int(sample.size),
+        "speedup": round(looped_s / max(ss_s, 1e-9), 2),
+        "output_edges": result.output_edges,
+    }
+
+
+def check_determinism(scenario: str, n: int) -> bool:
+    """Blocked JL sketches with one seed must be bit-identical."""
+    graph = build_graph(scenario, n)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", UserWarning)
+        first = approximate_effective_resistances(graph, num_directions=8, seed=SEED)
+        second = approximate_effective_resistances(graph, num_directions=8, seed=SEED)
+    return bool(np.array_equal(first, second))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: assert blocked/looped parity + JSON emission, no timing claims",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="override output JSON path")
+    args = parser.parse_args()
+
+    rows = []
+    if args.smoke:
+        out_path = args.out or SMOKE_RESULT_PATH
+        rows.append(run_pairs_case("er", 120, num_pairs=24))
+        rows.append(run_all_edges_case("er", 120, loop_sample=10 ** 9))  # full loop
+        rows.append(run_jl_case("er", 120, num_directions=8))
+        deterministic = check_determinism("er", 120)
+    else:
+        out_path = args.out or RESULT_PATH
+        rows.append(run_pairs_case("banded", 2048, num_pairs=256))
+        rows.append(
+            run_all_edges_case("banded", 2048, loop_sample=64, include_pinv=True)
+        )
+        rows.append(run_all_edges_case("powerlaw", 2048, loop_sample=64))
+        rows.append(run_jl_case("banded", 2048, num_directions=96))
+        rows.append(run_ss_case("powerlaw", 4096, loop_sample=32))
+        deterministic = check_determinism("banded", 2048)
+
+    table = ExperimentTable(
+        "resistance-blocked-vs-looped",
+        [
+            "section", "scenario", "n", "m", "columns",
+            "blocked_seconds", "looped_seconds", "speedup",
+        ],
+    )
+    for row in rows:
+        table.add_row(**{key: row.get(key, "") for key in table.columns})
+    print(table.render())
+
+    assert deterministic, "blocked JL sketch is not deterministic for a fixed seed"
+
+    assert_speedup = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1"
+    if assert_speedup and not args.smoke:
+        # Acceptance workload: >= 5x on the banded n=2048 all-edges
+        # (leverage-score) path.
+        for row in rows:
+            if row["section"] == "all-edges" and row["scenario"] == "banded":
+                assert row["speedup"] >= 5.0, (
+                    f"expected >=5x on banded n={row['n']} all-edges, "
+                    f"got {row['speedup']}x"
+                )
+
+    payload = {
+        "experiment": "resistance-blocked-vs-looped",
+        "seed": SEED,
+        "smoke": args.smoke,
+        "speedup_asserted": assert_speedup and not args.smoke,
+        "parity_checked": True,  # hard-asserted per row above
+        "deterministic": deterministic,
+        "results": rows,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    parsed = json.loads(out_path.read_text())
+    assert parsed["results"], f"no benchmark rows written to {out_path}"
+    print(f"\nwrote {out_path} ({len(rows)} rows)")
+
+
+if __name__ == "__main__":
+    main()

@@ -63,7 +63,9 @@ from repro.core import (
     parallel_sample,
     parallel_sparsify,
     certify_approximation,
+    certify_resistances,
     SpectralCertificate,
+    ResistanceCertificate,
     distributed_parallel_sample,
     distributed_parallel_sparsify,
     sparsify_many,
@@ -76,7 +78,11 @@ from repro.resistance import (
     effective_resistances_all_edges,
     leverage_scores,
     approximate_effective_resistances,
+    approximate_effective_resistances_detailed,
 )
+
+# Blocked multi-RHS Laplacian solver (powers the resistance paths above).
+from repro.linalg import laplacian_solve_many, BatchSolveResult
 
 # Solver.
 from repro.solvers import solve_laplacian, solve_sdd, build_inverse_chain
@@ -132,7 +138,9 @@ __all__ = [
     "parallel_sample",
     "parallel_sparsify",
     "certify_approximation",
+    "certify_resistances",
     "SpectralCertificate",
+    "ResistanceCertificate",
     "distributed_parallel_sample",
     "distributed_parallel_sparsify",
     "sparsify_many",
@@ -141,6 +149,9 @@ __all__ = [
     "effective_resistances_all_edges",
     "leverage_scores",
     "approximate_effective_resistances",
+    "approximate_effective_resistances_detailed",
+    "laplacian_solve_many",
+    "BatchSolveResult",
     "solve_laplacian",
     "solve_sdd",
     "build_inverse_chain",

@@ -13,6 +13,7 @@ from repro.analysis.spectral import (
     quadratic_form_ratios,
     resistance_preservation,
     ApproximationReport,
+    ProbeBounds,
 )
 from repro.analysis.reporting import ExperimentTable, comparison_table, format_table
 
@@ -21,6 +22,7 @@ __all__ = [
     "quadratic_form_ratios",
     "resistance_preservation",
     "ApproximationReport",
+    "ProbeBounds",
     "ExperimentTable",
     "comparison_table",
     "format_table",

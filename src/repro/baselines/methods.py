@@ -5,7 +5,11 @@ Registers the three baselines with the unified method registry
 
 ``spielman-srivastava``
     Effective-resistance importance sampling [23] — the solver-dependent
-    scheme the paper's spanner-based algorithm replaces.
+    scheme the paper's spanner-based algorithm replaces.  Its resistances
+    ride the blocked multi-RHS solver paths, so the method stays usable in
+    ``compare`` runs at n >= 4096 (pass ``use_approximate_resistances`` /
+    ``resistance_method`` / ``resistance_tol`` / ``block_size`` through
+    ``options`` to steer them).
 ``uniform``
     Certificate-free uniform sampling — the counter-example baseline.
 ``kapralov-panigrahi``

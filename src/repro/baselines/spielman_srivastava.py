@@ -6,11 +6,14 @@ scores); each drawn copy of edge ``e`` is added with weight
 ``w_e / (q p_e)``.  With ``q = O(n log n / eps^2)`` the result is a
 ``(1 ± eps)`` sparsifier w.h.p.
 
-The resistances can be exact (pseudoinverse; small graphs) or approximate
-(JL sketching; the original paper's approach, implemented in
-:mod:`repro.resistance.approx`) — the latter is what makes the scheme need
-a Laplacian solver, which is the dependence the spanner-based algorithm
-avoids.  Both paths are exposed so benchmarks can show the trade-off.
+The resistances can be exact (dense pseudoinverse on small graphs, one
+blocked multi-RHS CG pass past that) or approximate (JL sketching; the
+original paper's approach, implemented in :mod:`repro.resistance.approx`)
+— either way the scheme needs a Laplacian solver, which is the dependence
+the spanner-based algorithm avoids.  Both paths now run through
+:func:`repro.linalg.cg.laplacian_solve_many`, which is what makes
+leverage-score sampling feasible at the n >= 4096 scales the ROADMAP
+baselines reach.
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ import numpy as np
 from repro.baselines._shared import DeprecatedDistinctEdges, UnifiedResultAccessors
 from repro.exceptions import SparsificationError
 from repro.graphs.graph import Graph
-from repro.resistance.approx import approximate_effective_resistances
+from repro.resistance.approx import approximate_effective_resistances_detailed
 from repro.resistance.exact import effective_resistances_all_edges
 from repro.utils.rng import SeedLike, as_rng
 
@@ -38,6 +41,9 @@ class SSResult(UnifiedResultAccessors, DeprecatedDistinctEdges):
     ``sparsifier`` / ``input_edges`` / ``output_edges`` / ``num_edges`` /
     ``reduction_factor``.  The pre-unification ``distinct_edges`` name
     remains as a deprecated alias of ``output_edges``.
+
+    ``resistance_delta_effective`` records the JL accuracy the sketch
+    actually achieved (None on the exact path).
     """
 
     sparsifier: Graph
@@ -47,6 +53,7 @@ class SSResult(UnifiedResultAccessors, DeprecatedDistinctEdges):
     resistances: np.ndarray
     solver_based: bool
     input_edges: int = 0
+    resistance_delta_effective: Optional[float] = None
 
     @property
     def output_edges(self) -> int:
@@ -76,6 +83,9 @@ def spielman_srivastava_sparsify(
     resistance_delta: float = 0.3,
     seed: SeedLike = None,
     sample_constant: float = 9.0,
+    resistance_method: str = "auto",
+    resistance_tol: float = 1e-8,
+    block_size: int = 128,
 ) -> SSResult:
     """Sparsify ``graph`` by effective-resistance importance sampling.
 
@@ -89,7 +99,7 @@ def spielman_srivastava_sparsify(
         Explicit sample count ``q`` (default :func:`ss_sample_count`).
     use_approximate_resistances:
         Use JL-sketched resistances (the solver-based path of [23]) rather
-        than exact pseudoinverse resistances.
+        than exact resistances.
     resistance_delta:
         Accuracy of the sketched resistances; the sampler compensates by
         oversampling with factor ``(1 + delta)``.
@@ -97,6 +107,15 @@ def spielman_srivastava_sparsify(
         RNG seed.
     sample_constant:
         Constant in the default sample count.
+    resistance_method:
+        Exact-path resistance method: ``"auto"`` (dense pseudoinverse for
+        small graphs, blocked CG past that), ``"pinv"``, or ``"solve"``.
+    resistance_tol:
+        Solver tolerance of the exact blocked-CG path.  Sampling
+        probabilities only need a handful of accurate digits, so this is
+        looser than the 1e-10 default of the measurement paths.
+    block_size:
+        Columns per chunk of the blocked solves (both paths).
     """
     if graph.num_edges == 0:
         return SSResult(
@@ -113,13 +132,18 @@ def spielman_srivastava_sparsify(
     if num_samples is None:
         num_samples = ss_sample_count(n, epsilon, constant=sample_constant)
 
+    delta_effective: Optional[float] = None
     if use_approximate_resistances:
-        resistances = approximate_effective_resistances(
-            graph, delta=resistance_delta, seed=rng
+        sketched = approximate_effective_resistances_detailed(
+            graph, delta=resistance_delta, seed=rng, block_size=block_size
         )
+        resistances = sketched.resistances
+        delta_effective = sketched.delta_effective
         oversample = 1.0 + resistance_delta
     else:
-        resistances = effective_resistances_all_edges(graph)
+        resistances = effective_resistances_all_edges(
+            graph, method=resistance_method, tol=resistance_tol, block_size=block_size
+        )
         oversample = 1.0
 
     scores = np.maximum(graph.edge_weights * resistances, 1e-15)
@@ -144,4 +168,5 @@ def spielman_srivastava_sparsify(
         resistances=resistances,
         solver_based=use_approximate_resistances,
         input_edges=graph.num_edges,
+        resistance_delta_effective=delta_effective,
     )

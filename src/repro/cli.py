@@ -12,7 +12,10 @@ Subcommands
 ``sparsify``
     Run any registered method on a weighted edge-list file and write the
     sparsifier to another edge-list file, printing a summary (edge counts,
-    rounds, and — with ``--certify`` — the measured spectral certificate).
+    rounds, and — with ``--certify`` — the measured spectral certificate;
+    ``--certify-resistances N`` adds a probe-pair resistance certificate
+    through the blocked multi-RHS solver, usable at sizes where the dense
+    eigensolve behind ``--certify`` is not).
 ``batch``
     Run one method on many edge-list files at once, fanning the jobs out
     across the selected execution backend (``Engine.run_many``).
@@ -49,6 +52,7 @@ from repro.api import (
     available_method_names,
     compare_methods,
 )
+from repro.core.certificates import certify_resistances
 from repro.exceptions import ReproError
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.parallel.backends import available_backends
@@ -172,6 +176,9 @@ def build_parser() -> argparse.ArgumentParser:
     _add_execution_arguments(sparsify)
     sparsify.add_argument("--certify", action="store_true",
                           help="also measure the spectral certificate (dense eigensolve; small graphs only)")
+    sparsify.add_argument("--certify-resistances", type=int, default=None, metavar="PAIRS",
+                          help="measure resistance preservation over PAIRS probe pairs via the "
+                               "blocked multi-RHS solver (usable far past the --certify size limit)")
 
     batch = subparsers.add_parser(
         "batch", help="run one method on many edge lists across a backend"
@@ -235,6 +242,19 @@ def _run_sparsify(args: argparse.Namespace) -> int:
         cert = result.certificate
         print(f"certificate: {cert.lower:.4f} * G <= H <= {cert.upper:.4f} * G "
               f"(eps_achieved={cert.epsilon_achieved:.4f})")
+    if args.certify_resistances is not None:
+        if args.certify_resistances <= 0:
+            raise ReproError(
+                f"--certify-resistances needs a positive pair count, "
+                f"got {args.certify_resistances}"
+            )
+        rc = certify_resistances(
+            graph, result.sparsifier,
+            num_pairs=args.certify_resistances, seed=request.seed,
+        )
+        print(f"resistance certificate: R_H/R_G in [{rc.ratio_min:.4f}, {rc.ratio_max:.4f}] "
+              f"over {rc.num_pairs_used} probe pairs "
+              f"(refutes any epsilon < {rc.epsilon_refuted_below:.4f})")
     return 0
 
 

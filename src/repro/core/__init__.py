@@ -23,7 +23,12 @@
 from repro.core.config import SparsifierConfig
 from repro.core.sample import SampleResult, parallel_sample
 from repro.core.sparsify import SparsifyResult, RoundRecord, parallel_sparsify
-from repro.core.certificates import SpectralCertificate, certify_approximation
+from repro.core.certificates import (
+    ResistanceCertificate,
+    SpectralCertificate,
+    certify_approximation,
+    certify_resistances,
+)
 from repro.core.distributed_sparsify import (
     DistributedSampleResult,
     DistributedSparsifyResult,
@@ -41,6 +46,8 @@ __all__ = [
     "parallel_sparsify",
     "SpectralCertificate",
     "certify_approximation",
+    "certify_resistances",
+    "ResistanceCertificate",
     "DistributedSampleResult",
     "DistributedSparsifyResult",
     "distributed_parallel_sample",

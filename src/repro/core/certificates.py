@@ -16,14 +16,22 @@ approximation factor of each produced sparsifier.  A
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.graphs.connectivity import connected_components, sample_component_pairs
 from repro.graphs.graph import Graph
 from repro.linalg.eigen import extreme_generalized_eigenvalues
+from repro.resistance.exact import effective_resistances_of_pairs
+from repro.utils.rng import SeedLike, as_rng
 
-__all__ = ["SpectralCertificate", "certify_approximation"]
+__all__ = [
+    "SpectralCertificate",
+    "ResistanceCertificate",
+    "certify_approximation",
+    "certify_resistances",
+]
 
 
 @dataclass(frozen=True)
@@ -77,3 +85,128 @@ def certify_approximation(
         sparsifier.laplacian(), original.laplacian(), null_space_tol=null_space_tol
     )
     return SpectralCertificate(lower=float(lower), upper=float(upper))
+
+
+@dataclass(frozen=True)
+class ResistanceCertificate:
+    """Measured effective-resistance preservation over probe pairs.
+
+    A ``(1 ± eps)`` spectral sparsifier necessarily keeps every ratio
+    ``R_H(u, v) / R_G(u, v)`` inside ``[1/(1+eps), 1/(1-eps)]``, so probe
+    ratios outside that band *refute* the certificate — this is the
+    necessary-condition check that stays affordable at the large ``n``
+    where the dense eigensolve behind :class:`SpectralCertificate` does
+    not (each probe batch is one blocked multi-RHS Laplacian solve).
+
+    ``ratio_max`` is ``inf`` when a probe pair is disconnected in the
+    sparsifier, and both ratios are NaN when no probe pair exists (e.g. an
+    all-singleton graph).
+    """
+
+    ratio_min: float
+    ratio_max: float
+    num_pairs_requested: int
+    num_pairs_used: int
+
+    @property
+    def epsilon_refuted_below(self) -> float:
+        """Largest epsilon the probes *rule out* (0 if none, NaN if no probes).
+
+        Any (1 ± eps) sparsifier needs ``eps`` at least this large to be
+        consistent with the measured ratios; a necessary — not sufficient
+        — bound, the resistance-side analogue of
+        :attr:`SpectralCertificate.epsilon_achieved`.
+        """
+        if self.num_pairs_used == 0:
+            return float("nan")
+        bound = 0.0
+        if self.ratio_min < 1.0:
+            bound = max(bound, 1.0 / max(self.ratio_min, 1e-300) - 1.0)
+        if self.ratio_max > 1.0:
+            bound = max(bound, 1.0 - 1.0 / self.ratio_max)
+        return float(bound)
+
+    def holds(self, epsilon: float, slack: float = 1e-7) -> bool:
+        """True if every probe ratio is consistent with a (1 ± eps) certificate.
+
+        Vacuously True with zero probes (nothing measured refutes nothing)
+        — check ``num_pairs_used`` before treating the answer as evidence,
+        exactly as ``epsilon_refuted_below`` returns NaN for that state.
+        """
+        if self.num_pairs_used == 0:
+            return True
+        # The lower bound R_H/R_G >= 1/(1+eps) binds for every epsilon; the
+        # upper bound 1/(1-eps) only constrains below eps = 1 (past that it
+        # merely requires finite ratios, i.e. no disconnected probe pair).
+        if self.ratio_min < 1.0 / (1.0 + epsilon) - slack:
+            return False
+        if epsilon >= 1.0:
+            return bool(np.isfinite(self.ratio_max))
+        return self.ratio_max <= 1.0 / (1.0 - epsilon) + slack
+
+
+def certify_resistances(
+    original: Graph,
+    sparsifier: Graph,
+    num_pairs: int = 32,
+    seed: SeedLike = None,
+    pairs: Optional[Sequence[Tuple[int, int]]] = None,
+    method: str = "auto",
+    tol: float = 1e-10,
+    block_size: int = 128,
+) -> ResistanceCertificate:
+    """Measure resistance preservation of ``sparsifier`` over probe pairs.
+
+    Probe pairs are drawn *within* the original graph's connected
+    components (direct sampling — the requested count is met whenever any
+    component has two vertices, even on graphs with many small
+    components).  Pairs that end up disconnected in the sparsifier are
+    reported as an infinite ratio rather than an error.  Both graphs'
+    resistances are computed through the blocked solver paths, so the
+    certificate is usable far past the dense-eigensolve limit.
+    """
+    if original.num_vertices != sparsifier.num_vertices:
+        raise ValueError(
+            "graphs must share a vertex set: "
+            f"{original.num_vertices} vs {sparsifier.num_vertices}"
+        )
+    rng = as_rng(seed)
+    if pairs is None:
+        labels = connected_components(original)
+        pair_arr = sample_component_pairs(labels, num_pairs, rng)
+        requested = num_pairs
+    else:
+        pair_arr = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        requested = pair_arr.shape[0]
+    if pair_arr.shape[0] == 0:
+        return ResistanceCertificate(
+            ratio_min=float("nan"),
+            ratio_max=float("nan"),
+            num_pairs_requested=requested,
+            num_pairs_used=0,
+        )
+    original_resistances = effective_resistances_of_pairs(
+        original, pair_arr, method=method, tol=tol, block_size=block_size
+    )
+    sparsifier_labels = connected_components(sparsifier)
+    connected_in_sparsifier = (
+        sparsifier_labels[pair_arr[:, 0]] == sparsifier_labels[pair_arr[:, 1]]
+    )
+    ratios = np.full(pair_arr.shape[0], np.inf)
+    if connected_in_sparsifier.any():
+        sparsifier_resistances = effective_resistances_of_pairs(
+            sparsifier,
+            pair_arr[connected_in_sparsifier],
+            method=method,
+            tol=tol,
+            block_size=block_size,
+        )
+        ratios[connected_in_sparsifier] = sparsifier_resistances / np.maximum(
+            original_resistances[connected_in_sparsifier], 1e-300
+        )
+    return ResistanceCertificate(
+        ratio_min=float(ratios.min()),
+        ratio_max=float(ratios.max()),
+        num_pairs_requested=requested,
+        num_pairs_used=int(pair_arr.shape[0]),
+    )

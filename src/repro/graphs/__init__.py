@@ -19,6 +19,7 @@ from repro.graphs.connectivity import (
     UnionFind,
     connected_components,
     is_connected,
+    sample_component_pairs,
     spanning_forest,
 )
 from repro.graphs.operations import (
@@ -48,6 +49,7 @@ __all__ = [
     "UnionFind",
     "connected_components",
     "is_connected",
+    "sample_component_pairs",
     "spanning_forest",
     "graph_difference",
     "graph_scale",

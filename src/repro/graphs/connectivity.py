@@ -22,6 +22,7 @@ __all__ = [
     "is_connected",
     "spanning_forest",
     "component_subgraphs",
+    "sample_component_pairs",
     "bfs_order",
 ]
 
@@ -158,6 +159,53 @@ def component_subgraphs(graph: Graph) -> List[Tuple[np.ndarray, Graph]]:
         )
         results.append((vertex_ids, sub))
     return results
+
+
+def sample_component_pairs(
+    labels: np.ndarray,
+    num_pairs: int,
+    rng: "np.random.Generator",
+) -> np.ndarray:
+    """Sample ``num_pairs`` distinct-vertex pairs that share a component.
+
+    Direct (rejection-free) sampling: a component is chosen with
+    probability proportional to its number of unordered vertex pairs, then
+    two distinct vertices are drawn from it.  Unlike rejection sampling on
+    the full vertex set, this returns exactly ``num_pairs`` pairs whenever
+    *any* component has >= 2 vertices (and an empty ``(0, 2)`` array
+    otherwise) — graphs with many small components cannot silently shrink
+    the probe set.
+
+    Parameters
+    ----------
+    labels:
+        Per-vertex component labels (from :func:`connected_components`).
+    num_pairs:
+        Pairs to draw (with replacement across draws; a pair can repeat).
+    rng:
+        NumPy random generator.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if num_pairs <= 0 or labels.size == 0:
+        return np.zeros((0, 2), dtype=np.int64)
+    counts = np.bincount(labels)
+    pair_counts = counts.astype(float) * (counts - 1) / 2.0
+    total = pair_counts.sum()
+    if total <= 0:
+        return np.zeros((0, 2), dtype=np.int64)  # all components are singletons
+    # Vertices grouped by component label for O(1) in-component draws.
+    order = np.argsort(labels, kind="stable")
+    starts = np.zeros(counts.size + 1, dtype=np.int64)
+    np.cumsum(counts, out=starts[1:])
+    chosen = rng.choice(counts.size, size=num_pairs, p=pair_counts / total)
+    size = counts[chosen]
+    first = rng.integers(0, size)
+    second = rng.integers(0, size - 1)
+    second = np.where(second >= first, second + 1, second)  # distinct within component
+    pairs = np.stack(
+        [order[starts[chosen] + first], order[starts[chosen] + second]], axis=1
+    )
+    return pairs.astype(np.int64)
 
 
 def bfs_order(graph: Graph, source: int = 0) -> np.ndarray:

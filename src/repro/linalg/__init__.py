@@ -22,11 +22,13 @@ from repro.linalg.sdd import (
     recover_sdd_solution,
 )
 from repro.linalg.cg import (
+    BatchSolveResult,
     SolveResult,
     conjugate_gradient,
     jacobi_iteration,
     chebyshev_iteration,
     laplacian_solve,
+    laplacian_solve_many,
 )
 from repro.linalg.pseudoinverse import laplacian_pseudoinverse, solve_via_pseudoinverse
 from repro.linalg.eigen import (
@@ -43,11 +45,13 @@ __all__ = [
     "laplacian_of_sdd",
     "sdd_to_laplacian_system",
     "recover_sdd_solution",
+    "BatchSolveResult",
     "SolveResult",
     "conjugate_gradient",
     "jacobi_iteration",
     "chebyshev_iteration",
     "laplacian_solve",
+    "laplacian_solve_many",
     "laplacian_pseudoinverse",
     "solve_via_pseudoinverse",
     "extreme_generalized_eigenvalues",

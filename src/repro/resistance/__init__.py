@@ -5,9 +5,11 @@ Lemma 1 certifies upper bounds on ``w_e * R_e[G]`` (the *leverage score*
 of edge e) from a t-bundle spanner, and those bounds justify uniform
 sampling.  This subpackage provides
 
-* exact effective resistances (dense pseudoinverse or repeated CG solves),
+* exact effective resistances (dense pseudoinverse or one blocked
+  multi-RHS CG pass over deduplicated indicator columns),
 * Johnson–Lindenstrauss-sketched approximate resistances in the style of
-  Spielman–Srivastava (used by the baseline sparsifier),
+  Spielman–Srivastava (used by the baseline sparsifier), batched through
+  the same blocked solver,
 * stretch computations over paths, trees, and subgraphs, and the
   spanner-certified resistance upper bounds of Lemma 1.
 """
@@ -18,7 +20,12 @@ from repro.resistance.exact import (
     effective_resistances_of_pairs,
     leverage_scores,
 )
-from repro.resistance.approx import approximate_effective_resistances
+from repro.resistance.approx import (
+    ApproxResistanceResult,
+    approximate_effective_resistances,
+    approximate_effective_resistances_detailed,
+    jl_direction_count,
+)
 from repro.resistance.stretch import (
     path_resistance,
     stretch_of_edge_over_path,
@@ -33,7 +40,10 @@ __all__ = [
     "effective_resistances_all_edges",
     "effective_resistances_of_pairs",
     "leverage_scores",
+    "ApproxResistanceResult",
     "approximate_effective_resistances",
+    "approximate_effective_resistances_detailed",
+    "jl_direction_count",
     "path_resistance",
     "stretch_of_edge_over_path",
     "stretch_over_subgraph",

@@ -36,10 +36,17 @@ class TestQuadraticFormRatios:
         assert cert.lower - 1e-9 <= lo
         assert hi <= cert.upper + 1e-9
 
-    def test_empty_denominator_handled(self):
+    def test_empty_denominator_reports_nan(self):
+        """An edgeless original skips every probe: NaN, not a fake perfect score."""
         empty = gen.path_graph(5).select_edges(np.zeros(4, dtype=bool))
-        lo, hi = quadratic_form_ratios(empty, empty, seed=0)
-        assert lo == hi == 1.0
+        bounds = quadratic_form_ratios(empty, empty, seed=0)
+        lo, hi = bounds  # tuple-style unpacking still works
+        assert np.isnan(lo) and np.isnan(hi)
+        assert bounds.num_probes_used == 0
+
+    def test_probe_count_surfaced(self, small_er_graph):
+        bounds = quadratic_form_ratios(small_er_graph, small_er_graph, num_vectors=7, seed=0)
+        assert bounds.num_probes_used == 7
 
 
 class TestResistancePreservation:
@@ -56,9 +63,30 @@ class TestResistancePreservation:
         assert lo == pytest.approx(0.5, abs=1e-6)
         assert hi == pytest.approx(0.5, abs=1e-6)
 
-    def test_empty_pairs(self, small_er_graph):
-        lo, hi = resistance_preservation(small_er_graph, small_er_graph, pairs=[])
-        assert lo == hi == 1.0
+    def test_empty_pairs_report_nan(self, small_er_graph):
+        bounds = resistance_preservation(small_er_graph, small_er_graph, pairs=[])
+        assert np.isnan(bounds.minimum) and np.isnan(bounds.maximum)
+        assert bounds.num_probes_used == 0
+
+    def test_small_components_get_full_probe_count(self):
+        """Direct in-component sampling: many tiny components cannot starve probes."""
+        from repro.graphs.operations import disjoint_union
+
+        triangle = gen.cycle_graph(3)
+        g = triangle
+        for _ in range(9):
+            g = disjoint_union(g, triangle)  # 10 triangles, n = 30
+        bounds = resistance_preservation(g, g, num_pairs=32, seed=0)
+        assert bounds.num_probes_used == 32
+        assert bounds.minimum == pytest.approx(1.0, abs=1e-6)
+        assert bounds.maximum == pytest.approx(1.0, abs=1e-6)
+
+    def test_sparsifier_disconnection_is_infinite(self, small_er_graph):
+        """A probe pair split apart by the 'sparsifier' shows up as an inf ratio."""
+        empty = small_er_graph.select_edges(np.zeros(small_er_graph.num_edges, dtype=bool))
+        bounds = resistance_preservation(small_er_graph, empty, num_pairs=4, seed=1)
+        assert np.isinf(bounds.maximum)
+        assert bounds.num_probes_used == 4
 
 
 class TestApproximationReport:
@@ -70,6 +98,8 @@ class TestApproximationReport:
         assert report.edges_original == medium_er_graph.num_edges
         assert report.edges_sparsifier == result.sparsifier.num_edges
         assert report.connectivity_preserved
+        assert report.num_probes_used == 32
+        assert report.num_resistance_pairs_used == 16
         assert report.edge_reduction >= 1.0
         assert report.certificate.lower <= report.quadratic_ratio_min + 1e-9
         assert report.quadratic_ratio_max <= report.certificate.upper + 1e-9

@@ -108,6 +108,18 @@ class TestSparsifyCommand:
         assert code == 0
         assert "certificate:" in capsys.readouterr().out
 
+    def test_certify_resistances_flag_prints_ratio_band(self, edge_list_file, tmp_path, capsys):
+        in_path, _ = edge_list_file
+        out_path = tmp_path / "sparse.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--bundle-t", "2", "--certify-resistances", "8", "--seed", "1",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "resistance certificate:" in output
+        assert "8 probe pairs" in output
+
     def test_tree_bundle_flag(self, edge_list_file, tmp_path):
         in_path, graph = edge_list_file
         out_path = tmp_path / "sparse_tree.txt"
