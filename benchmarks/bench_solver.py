@@ -8,12 +8,24 @@ both the non-sparsified chain and (on ill-conditioned inputs) plain CG.
 Measured on 2-D grid Laplacians and an SDD system: chain depth, per-level
 and total non-zeros with and without sparsification, outer iterations, and
 the resulting work estimates, against plain CG and Jacobi-CG baselines.
+
+Runs two ways: under pytest as part of the benchmark suite, or as a
+script for CI (``PYTHONPATH=src python benchmarks/bench_solver.py
+--smoke`` — small sizes, writes ``BENCH_solver_smoke.json``, asserts the
+qualitative claims but makes no timing claims).
 """
+
+import argparse
+import json
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-from benchmarks.conftest import print_table
+try:
+    from benchmarks.conftest import print_table
+except ImportError:  # script execution: sys.path[0] is benchmarks/ itself
+    from conftest import print_table
 from repro.analysis.reporting import ExperimentTable
 from repro.core.config import SparsifierConfig
 from repro.graphs import generators as gen
@@ -115,3 +127,101 @@ def test_e7_sdd_system_end_to_end(benchmark):
     )
     assert report.result.converged
     assert np.allclose(report.x, x_true, atol=1e-4)
+
+
+# --------------------------------------------------------------------- #
+# Script mode (CI smoke): the same claims without pytest-benchmark.
+# --------------------------------------------------------------------- #
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SMOKE_RESULT_PATH = REPO_ROOT / "BENCH_solver_smoke.json"
+
+
+def _blocked_delegation_check(graph, k: int = 8, tol: float = 1e-8) -> dict:
+    """2-D rhs delegates to the blocked chain-PCG path; parity vs. 1-D solves."""
+    rng = np.random.default_rng(11)
+    rhs = rng.standard_normal((graph.num_vertices, k))
+    rhs -= rhs.mean(axis=0, keepdims=True)
+    report = solve_laplacian(graph, rhs, tol=tol, config=CONFIG, seed=5)
+    assert report.batch is not None, "2-D rhs did not take the blocked path"
+    assert report.result.converged
+    assert report.batch.precond_applications > 0
+    max_col_err = 0.0
+    for j in range(k):
+        single = solve_laplacian(graph, rhs[:, j], tol=tol, config=CONFIG,
+                                 chain=report.chain)
+        x_blocked = report.x[:, j] - report.x[:, j].mean()
+        x_single = single.x - single.x.mean()
+        scale = max(float(np.linalg.norm(x_single)), 1e-300)
+        max_col_err = max(max_col_err, float(np.linalg.norm(x_blocked - x_single)) / scale)
+    assert max_col_err < 1e-5, f"blocked delegation parity drifted: {max_col_err:.2e}"
+    return {
+        "section": "blocked-delegation",
+        "n": graph.num_vertices,
+        "columns": k,
+        "iterations_max": int(report.batch.iterations.max(initial=0)),
+        "precond_applications": int(report.batch.precond_applications),
+        "max_col_rel_err": max_col_err,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small grid sizes for CI: assert the E7 claims + JSON emission, no timing claims",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="override output JSON path")
+    args = parser.parse_args()
+    out_path = args.out or SMOKE_RESULT_PATH
+
+    # The same workloads the pytest entry points use (small grids either way).
+    solver_table, plain, jacobi, chained = _solver_comparison(gen.grid_graph(22, 22))
+    print_table(solver_table)
+    assert chained.result.converged
+    assert chained.result.iterations < plain.iterations
+    assert chained.result.iterations < jacobi.iterations
+
+    size_table, sparsified, non_sparsified = _chain_size_comparison(gen.grid_graph(18, 18))
+    print_table(size_table)
+    assert max(l.nnz for l in sparsified.levels) < max(l.nnz for l in non_sparsified.levels)
+
+    delegation_row = _blocked_delegation_check(gen.grid_graph(16, 16))
+
+    rows = [
+        {
+            "section": "solver-comparison",
+            "n": 22 * 22,
+            "plain_iterations": plain.iterations,
+            "jacobi_iterations": jacobi.iterations,
+            "chain_iterations": chained.result.iterations,
+            "chain_work": chained.result.work,
+            "plain_work": plain.work,
+        },
+        {
+            "section": "chain-size",
+            "n": 18 * 18,
+            "sparsified_max_level_nnz": max(l.nnz for l in sparsified.levels),
+            "non_sparsified_max_level_nnz": max(l.nnz for l in non_sparsified.levels),
+            "sparsified_total_nnz": sparsified.total_nnz,
+            "non_sparsified_total_nnz": non_sparsified.total_nnz,
+        },
+        delegation_row,
+    ]
+    payload = {
+        "experiment": "solver-chain-pcg",
+        "smoke": args.smoke,
+        "chain_converged": bool(chained.result.converged),
+        "chain_beats_plain": bool(chained.result.iterations < plain.iterations),
+        "blocked_delegation_checked": True,
+        "results": rows,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    parsed = json.loads(out_path.read_text())
+    assert parsed["results"], f"no benchmark rows written to {out_path}"
+    print(f"\nwrote {out_path} ({len(rows)} rows)")
+
+
+if __name__ == "__main__":
+    main()

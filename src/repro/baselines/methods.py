@@ -57,9 +57,15 @@ def run_spielman_srivastava(
     options: Dict[str, Any],
     emit: Callable[..., None],
 ):
-    """Engine adapter delegating to :func:`spielman_srivastava_sparsify`."""
+    """Engine adapter delegating to :func:`spielman_srivastava_sparsify`.
+
+    The config-level ``solver`` knob is forwarded to the resistance
+    computation unless the request's ``options`` override it explicitly.
+    """
+    kwargs = dict(options)
+    kwargs.setdefault("solver", config.solver)
     return spielman_srivastava_sparsify(
-        graph, epsilon=_resolve_epsilon(epsilon, config), seed=seed, **options
+        graph, epsilon=_resolve_epsilon(epsilon, config), seed=seed, **kwargs
     )
 
 

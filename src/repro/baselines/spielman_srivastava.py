@@ -86,6 +86,7 @@ def spielman_srivastava_sparsify(
     resistance_method: str = "auto",
     resistance_tol: float = 1e-8,
     block_size: int = 128,
+    solver: str = "cg",
 ) -> SSResult:
     """Sparsify ``graph`` by effective-resistance importance sampling.
 
@@ -116,6 +117,11 @@ def spielman_srivastava_sparsify(
         looser than the 1e-10 default of the measurement paths.
     block_size:
         Columns per chunk of the blocked solves (both paths).
+    solver:
+        Inner blocked-solver choice for the resistance computation on
+        either path — ``"cg"`` (plain blocked CG, the default),
+        ``"chain"`` (chain-preconditioned), or ``"auto"``; see
+        :mod:`repro.resistance.solver_select`.
     """
     if graph.num_edges == 0:
         return SSResult(
@@ -135,14 +141,16 @@ def spielman_srivastava_sparsify(
     delta_effective: Optional[float] = None
     if use_approximate_resistances:
         sketched = approximate_effective_resistances_detailed(
-            graph, delta=resistance_delta, seed=rng, block_size=block_size
+            graph, delta=resistance_delta, seed=rng, block_size=block_size,
+            solver=solver,
         )
         resistances = sketched.resistances
         delta_effective = sketched.delta_effective
         oversample = 1.0 + resistance_delta
     else:
         resistances = effective_resistances_all_edges(
-            graph, method=resistance_method, tol=resistance_tol, block_size=block_size
+            graph, method=resistance_method, tol=resistance_tol, block_size=block_size,
+            solver=solver,
         )
         oversample = 1.0
 

@@ -83,6 +83,10 @@ def _add_request_arguments(parser: argparse.ArgumentParser) -> None:
                         help="constant regime (default practical)")
     parser.add_argument("--tree-bundle", action="store_true",
                         help="use low-stretch-tree bundles (Remark 2) instead of spanners")
+    parser.add_argument("--solver", choices=["cg", "chain", "auto"], default=None,
+                        help="inner Laplacian solver for resistance/certification routes: "
+                             "plain blocked CG (default), chain-preconditioned blocked CG, "
+                             "or automatic selection past size/conditioning thresholds")
     parser.add_argument("--seed", type=int, default=None,
                         help=f"random seed (default {_DEFAULT_SEED})")
 
@@ -152,6 +156,8 @@ def _request_from_args(args: argparse.Namespace) -> SparsifyRequest:
         config_payload["bundle_t"] = args.bundle_t
     if args.tree_bundle:
         config_payload["use_tree_bundle"] = True
+    if getattr(args, "solver", None) is not None:
+        config_payload["solver"] = args.solver
     if config_payload:
         data["config"] = config_payload
     data.setdefault("seed", _DEFAULT_SEED)
@@ -251,6 +257,7 @@ def _run_sparsify(args: argparse.Namespace) -> int:
         rc = certify_resistances(
             graph, result.sparsifier,
             num_pairs=args.certify_resistances, seed=request.seed,
+            solver=request.resolved_config().solver,
         )
         print(f"resistance certificate: R_H/R_G in [{rc.ratio_min:.4f}, {rc.ratio_max:.4f}] "
               f"over {rc.num_pairs_used} probe pairs "

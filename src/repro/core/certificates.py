@@ -154,6 +154,7 @@ def certify_resistances(
     method: str = "auto",
     tol: float = 1e-10,
     block_size: int = 128,
+    solver: str = "cg",
 ) -> ResistanceCertificate:
     """Measure resistance preservation of ``sparsifier`` over probe pairs.
 
@@ -164,6 +165,12 @@ def certify_resistances(
     reported as an infinite ratio rather than an error.  Both graphs'
     resistances are computed through the blocked solver paths, so the
     certificate is usable far past the dense-eigensolve limit.
+
+    ``solver`` selects the inner blocked solver (``"cg"``, ``"chain"``,
+    or ``"auto"`` — see :mod:`repro.resistance.solver_select`); with the
+    chain-preconditioned choice the original's and the sparsifier's
+    chains are each built at most once per process thanks to the shared
+    chain cache, so repeated certification stays cheap.
     """
     if original.num_vertices != sparsifier.num_vertices:
         raise ValueError(
@@ -186,7 +193,7 @@ def certify_resistances(
             num_pairs_used=0,
         )
     original_resistances = effective_resistances_of_pairs(
-        original, pair_arr, method=method, tol=tol, block_size=block_size
+        original, pair_arr, method=method, tol=tol, block_size=block_size, solver=solver
     )
     sparsifier_labels = connected_components(sparsifier)
     connected_in_sparsifier = (
@@ -200,6 +207,7 @@ def certify_resistances(
             method=method,
             tol=tol,
             block_size=block_size,
+            solver=solver,
         )
         ratios[connected_in_sparsifier] = sparsifier_resistances / np.maximum(
             original_resistances[connected_in_sparsifier], 1e-300

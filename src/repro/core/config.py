@@ -98,6 +98,15 @@ class SparsifierConfig:
         per-node object simulator).  Like the backend, the engine never
         changes outputs or measured rounds/messages — only wall-clock —
         which the engine-parity tests pin down.
+    solver:
+        Inner Laplacian-solver choice for the resistance/certification
+        routes that consume this config: ``"cg"`` (plain blocked CG, the
+        default), ``"chain"`` (blocked CG preconditioned with a cached
+        Peng–Spielman chain — the paper's own machinery accelerating its
+        certification), or ``"auto"`` (chain past the size/conditioning
+        thresholds of :mod:`repro.resistance.solver_select`).  Never
+        changes *what* is computed — only how fast the inner solves
+        converge.
     """
 
     epsilon: float = 0.5
@@ -114,6 +123,7 @@ class SparsifierConfig:
     max_workers: Optional[int] = None
     num_shards: int = 1
     distributed_engine: str = "columnar"
+    solver: str = "cg"
 
     def __post_init__(self) -> None:
         check_epsilon(self.epsilon, "epsilon")
@@ -146,6 +156,10 @@ class SparsifierConfig:
             raise SparsificationError(
                 "distributed_engine must be 'columnar' or 'reference', "
                 f"got {self.distributed_engine!r}"
+            )
+        if self.solver not in ("cg", "chain", "auto"):
+            raise SparsificationError(
+                f"solver must be 'cg', 'chain', or 'auto', got {self.solver!r}"
             )
 
     # ------------------------------------------------------------------ #

@@ -22,6 +22,7 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.exceptions import ConvergenceError
+from repro.graphs.laplacian import is_laplacian
 
 __all__ = [
     "SolveResult",
@@ -382,8 +383,15 @@ class BatchSolveResult:
         Total *column* matrix-vector products: each blocked pass over
         ``c`` active columns counts as ``c`` — directly comparable to the
         matvec count of ``k`` independent :func:`laplacian_solve` calls.
+    precond_applications:
+        Total *column* preconditioner applications, counted the same way
+        as ``matvecs`` (each blocked application to ``c`` active columns
+        counts as ``c``); zero when no preconditioner is attached.
     work:
-        Estimated arithmetic work ``nnz(A) * matvecs``.
+        Estimated arithmetic work ``nnz(A) * matvecs`` plus
+        ``precond_work_per_application * precond_applications`` as charged
+        by the caller, so preconditioned and plain solves are compared on
+        total flops, not iteration counts alone.
     num_blocks:
         Number of column chunks the solve was split into.
     """
@@ -393,6 +401,7 @@ class BatchSolveResult:
     iterations: np.ndarray
     residual_norms: np.ndarray
     matvecs: int = 0
+    precond_applications: int = 0
     work: float = 0.0
     num_blocks: int = 0
 
@@ -424,17 +433,32 @@ def _block_cg(
     tol: float,
     max_iterations: int,
     deflate: bool,
+    preconditioner: Optional[Preconditioner] = None,
 ):
-    """Simultaneous CG on one dense ``(n, c)`` block with per-column freezing.
+    """Simultaneous (P)CG on one dense ``(n, c)`` block with per-column freezing.
 
     Every column runs its own CG recurrence (own ``alpha``/``beta``), but
-    the matrix is applied to the whole block in one flat pass per
-    iteration.  Converged (or broken-down) columns are *frozen* — their
-    ``alpha``/``beta`` forced to zero so the iterate stops moving — and
-    the working arrays are physically compressed once at least half the
-    columns are frozen, so late iterations only pay for the stragglers
-    without per-iteration fancy-indexing overhead.  Returns ``(x,
-    converged, iterations, residual_norms, column_matvecs)``.
+    the matrix — and the preconditioner, when one is attached — is applied
+    to the whole block in one flat pass per iteration.  Converged (or
+    broken-down) columns are *frozen* — their ``alpha``/``beta`` forced to
+    zero so the iterate stops moving — and the working arrays are
+    physically compressed once at least half the columns are frozen, so
+    late iterations only pay for the stragglers without per-iteration
+    fancy-indexing overhead.  The preconditioned state needs no separate
+    compression: ``z`` is recomputed from the (compressed) residual block
+    each iteration, so the preconditioner is only ever applied to live
+    columns after a compression.
+
+    Convergence is always judged on the *true* relative residual
+    ``||r|| / ||b||`` (not the preconditioned norm ``sqrt(r^T z)``), so
+    ``tol`` means the same thing with and without a preconditioner.
+
+    With ``preconditioner=None`` the computation is operation-for-operation
+    identical to the unpreconditioned solver (``z`` aliases ``r``), so
+    attaching the hook does not perturb existing results.
+
+    Returns ``(x, converged, iterations, residual_norms, column_matvecs,
+    column_precond_applications)``.
     """
     n, k = block.shape
     x_out = np.zeros((n, k))
@@ -450,17 +474,28 @@ def _block_cg(
     converged[zero_cols] = True  # x = 0 solves a zero RHS exactly
     cols = np.flatnonzero(~zero_cols)  # original index of each working column
     column_matvecs = 0
+    column_precond_apps = 0
     if cols.size == 0:
-        return x_out, converged, iterations, residual_norms, column_matvecs
+        return x_out, converged, iterations, residual_norms, column_matvecs, column_precond_apps
 
     r = np.array(b[:, cols])  # contiguous working copies
-    p = r.copy()
+    if preconditioner is None:
+        z = r  # alias: keeps the unpreconditioned path bit-identical
+        rz = np.einsum("ij,ij->j", r, z)
+        rr = rz
+    else:
+        z = np.asarray(preconditioner(r), dtype=float)
+        column_precond_apps += r.shape[1]
+        if deflate:
+            z = z - z.mean(axis=0, keepdims=True)
+        rz = np.einsum("ij,ij->j", r, z)
+        rr = np.einsum("ij,ij->j", r, r)
+    p = z.copy()
     x = np.zeros((n, cols.size))
     tmp = np.empty_like(p)  # scratch for axpy updates (avoids 2 allocs/iter)
-    rz = np.einsum("ij,ij->j", r, r)
     scale = b_norms[cols]
-    frozen = np.sqrt(rz) / scale <= tol
-    residual_norms[cols] = np.sqrt(rz) / scale
+    frozen = np.sqrt(rr) / scale <= tol
+    residual_norms[cols] = np.sqrt(rr) / scale
     converged[cols[frozen]] = True
 
     iteration = 0
@@ -480,8 +515,8 @@ def _block_cg(
         r -= tmp
         if deflate and iteration % _DEFLATE_EVERY == 0:
             r -= r.mean(axis=0, keepdims=True)
-        rz_new = np.einsum("ij,ij->j", r, r)
-        residual = np.sqrt(rz_new) / scale
+        rr = np.einsum("ij,ij->j", r, r)
+        residual = np.sqrt(rr) / scale
         live = ~frozen
         iterations[cols[live]] = iteration
         residual_norms[cols[live]] = residual[live]
@@ -492,10 +527,19 @@ def _block_cg(
         num_frozen = int(frozen.sum())
         if num_frozen == frozen.size:
             break
+        if preconditioner is None:
+            z = r
+            rz_new = rr
+        else:
+            z = np.asarray(preconditioner(r), dtype=float)
+            column_precond_apps += r.shape[1]
+            if deflate:
+                z = z - z.mean(axis=0, keepdims=True)
+            rz_new = np.einsum("ij,ij->j", r, z)
         beta = np.where(frozen, 0.0, rz_new / np.where(rz > 0.0, rz, 1.0))
         rz = rz_new
         p *= beta
-        p += r  # frozen columns get p = r, but alpha = 0 keeps them inert
+        p += z  # frozen columns get p = z, but alpha = 0 keeps them inert
         if 2 * num_frozen >= frozen.size:
             # Compress: write finished columns out, keep the stragglers.
             x_out[:, cols[frozen]] = x[:, frozen]
@@ -511,7 +555,7 @@ def _block_cg(
     x_out[:, cols] = x
     if deflate:
         x_out -= x_out.mean(axis=0, keepdims=True)
-    return x_out, converged, iterations, residual_norms, column_matvecs
+    return x_out, converged, iterations, residual_norms, column_matvecs, column_precond_apps
 
 
 def laplacian_solve_many(
@@ -521,6 +565,9 @@ def laplacian_solve_many(
     max_iterations: Optional[int] = None,
     block_size: int = 128,
     deflate: bool = True,
+    preconditioner: Optional[Preconditioner] = None,
+    precond_work_per_application: float = 0.0,
+    validate: bool = False,
     raise_on_failure: bool = False,
 ) -> BatchSolveResult:
     """Blocked multi-RHS solve ``L X = B`` for an ``(n, k)`` RHS matrix.
@@ -545,7 +592,9 @@ def laplacian_solve_many(
         blocks — e.g. pair-indicator columns — are densified one chunk at
         a time, bounding peak memory at ``O(n * block_size)``).
     tol:
-        Per-column relative residual target.
+        Per-column relative residual target (always measured on the true
+        residual ``||b_j - A x_j|| / ||b_j||``, so it is directly
+        comparable across preconditioned and plain runs).
     max_iterations:
         Per-column iteration cap; defaults to ``10 n`` like the looped
         solver.
@@ -554,6 +603,29 @@ def laplacian_solve_many(
     deflate:
         Project right-hand sides and iterates against the constant vector
         (shared Laplacian null-space treatment; disable for SPD systems).
+
+        **Contract:** ``deflate=True`` assumes the system matrix is
+        symmetric with the all-ones vector in its null space (a Laplacian;
+        for multi-component graphs, solve per component).  This is *not*
+        checked by default — dense matrices and ``LinearOperator`` inputs
+        are taken on faith, and for a non-symmetric or non-singular input
+        the projection silently changes the system being solved.  Pass
+        ``validate=True`` to assert the property on matrix inputs.
+    preconditioner:
+        Optional callable approximating ``A^+`` applied to an ``(n, c)``
+        dense block (e.g. :func:`repro.solvers.chain.chain_preconditioner`).
+        Must be symmetric positive definite on the relevant subspace.
+        ``None`` keeps the solver on the exact unpreconditioned code path.
+    precond_work_per_application:
+        Work units charged per *column* preconditioner application (e.g.
+        ``2 * total_nnz`` of an approximate-inverse chain); feeds the
+        ``work`` field so preconditioned solves are comparable on flops.
+    validate:
+        Debug assertion (opt-in, off in hot loops): when ``deflate=True``,
+        check via :func:`repro.graphs.laplacian.is_laplacian` that a
+        sparse or dense ``laplacian`` input really is one, and raise
+        ``ValueError`` otherwise.  ``LinearOperator`` inputs cannot be
+        validated cheaply and are skipped.
     raise_on_failure:
         Raise :class:`ConvergenceError` if any column fails to converge.
 
@@ -562,6 +634,13 @@ def laplacian_solve_many(
     BatchSolveResult
         Solutions plus per-column convergence data and aggregate work.
     """
+    if validate and deflate and not isinstance(laplacian, spla.LinearOperator):
+        if not is_laplacian(laplacian):
+            raise ValueError(
+                "laplacian_solve_many(deflate=True, validate=True): input matrix "
+                "is not a graph Laplacian (symmetric, non-positive off-diagonal, "
+                "zero row sums); pass deflate=False for general SPD systems"
+            )
     if sp.issparse(rhs):
         rhs_matrix = rhs.tocsc()
     else:
@@ -584,18 +663,20 @@ def laplacian_solve_many(
     iterations = np.empty(k, dtype=np.int64)
     residual_norms = np.empty(k)
     total_matvecs = 0
+    total_precond_apps = 0
     num_blocks = 0
     for start in range(0, k, block_size):
         stop = min(start + block_size, k)
         block = _densify_block(rhs_matrix, start, stop)
-        bx, bconv, biter, bres, bmatvecs = _block_cg(
-            matvec, block, tol, max_iterations, deflate
+        bx, bconv, biter, bres, bmatvecs, bprecond = _block_cg(
+            matvec, block, tol, max_iterations, deflate, preconditioner
         )
         x[:, start:stop] = bx
         converged[start:stop] = bconv
         iterations[start:stop] = biter
         residual_norms[start:stop] = bres
         total_matvecs += bmatvecs
+        total_precond_apps += bprecond
         num_blocks += 1
 
     result = BatchSolveResult(
@@ -604,7 +685,8 @@ def laplacian_solve_many(
         iterations=iterations,
         residual_norms=residual_norms,
         matvecs=total_matvecs,
-        work=nnz * total_matvecs,
+        precond_applications=total_precond_apps,
+        work=nnz * total_matvecs + precond_work_per_application * total_precond_apps,
         num_blocks=num_blocks,
     )
     if raise_on_failure and not result.all_converged:

@@ -20,6 +20,12 @@ from repro.resistance.exact import (
     effective_resistances_of_pairs,
     leverage_scores,
 )
+from repro.resistance.solver_select import (
+    SOLVER_CHOICES,
+    ResistanceSolveStats,
+    chain_preconditioner_for,
+    resolve_solver,
+)
 from repro.resistance.approx import (
     ApproxResistanceResult,
     approximate_effective_resistances,
@@ -40,6 +46,10 @@ __all__ = [
     "effective_resistances_all_edges",
     "effective_resistances_of_pairs",
     "leverage_scores",
+    "SOLVER_CHOICES",
+    "ResistanceSolveStats",
+    "chain_preconditioner_for",
+    "resolve_solver",
     "ApproxResistanceResult",
     "approximate_effective_resistances",
     "approximate_effective_resistances_detailed",

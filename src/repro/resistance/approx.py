@@ -30,6 +30,11 @@ import numpy as np
 from repro.exceptions import GraphError
 from repro.graphs.graph import Graph
 from repro.linalg.cg import laplacian_solve_many
+from repro.resistance.solver_select import (
+    ResistanceSolveStats,
+    chain_preconditioner_for,
+    resolve_solver,
+)
 from repro.utils.rng import SeedLike, as_rng, split_rng
 
 __all__ = [
@@ -69,7 +74,14 @@ class ApproxResistanceResult:
     matvecs:
         Total column matrix-vector products spent in the solves.
     work:
-        Estimated arithmetic work of the solves (``nnz * matvecs``).
+        Estimated arithmetic work of the solves (``nnz * matvecs`` plus
+        any preconditioner cost charged by the blocked solver).
+    solver:
+        Resolved inner solver actually used (``"cg"`` or ``"chain"``).
+    iterations_total:
+        Total CG iterations summed over every solve column.
+    precond_applications:
+        Total column preconditioner applications (0 on the plain path).
     """
 
     resistances: np.ndarray
@@ -79,6 +91,9 @@ class ApproxResistanceResult:
     solver_converged: bool = True
     matvecs: int = 0
     work: float = 0.0
+    solver: str = "cg"
+    iterations_total: int = 0
+    precond_applications: int = 0
 
 
 def _effective_delta(num_vertices: int, num_directions: int) -> float:
@@ -93,6 +108,8 @@ def approximate_effective_resistances_detailed(
     seed: SeedLike = None,
     solver_tol: float = 1e-8,
     block_size: int = 128,
+    solver: str = "cg",
+    stats: Optional[ResistanceSolveStats] = None,
 ) -> ApproxResistanceResult:
     """Approximate ``R_e[G]`` for every edge via blocked JL sketching.
 
@@ -121,6 +138,13 @@ def approximate_effective_resistances_detailed(
     block_size:
         Directions solved simultaneously per chunk (bounds peak memory at
         ``O((n + m) * block_size)``).
+    solver:
+        Inner blocked-solver choice — ``"cg"`` (plain, the default),
+        ``"chain"`` (chain-preconditioned, chain cached per graph), or
+        ``"auto"``; see :mod:`repro.resistance.solver_select`.
+    stats:
+        Optional :class:`~repro.resistance.solver_select.ResistanceSolveStats`
+        accumulating iteration/matvec/work counts of the inner solves.
     """
     if not 0 < delta < 1:
         raise GraphError(f"delta must lie in (0, 1), got {delta}")
@@ -169,9 +193,19 @@ def approximate_effective_resistances_detailed(
     # of it is ever materialized (int8: +-1), keeping memory bounded.
     direction_rngs = split_rng(rng, num_directions)
 
+    resolved = resolve_solver(solver, graph, num_directions)
+    preconditioner = None
+    precond_work = 0.0
+    if resolved == "chain":
+        preconditioner, precond_work = chain_preconditioner_for(graph, stats=stats)
+    if stats is not None:
+        stats.solver = resolved
+
     scale = 1.0 / np.sqrt(num_directions)
     resistance_estimate = np.zeros(m)
     matvecs = 0
+    precond_applications = 0
+    iterations_total = 0
     work = 0.0
     converged = True
     for start in range(0, num_directions, block_size):
@@ -184,11 +218,20 @@ def approximate_effective_resistances_detailed(
         # y_j = B^T W^{1/2} q_j for each direction j in the chunk.
         rhs = incidence @ (signs.T * scale)
         solve = laplacian_solve_many(
-            lap, rhs, tol=solver_tol, block_size=block_size
+            lap,
+            rhs,
+            tol=solver_tol,
+            block_size=block_size,
+            preconditioner=preconditioner,
+            precond_work_per_application=precond_work,
         )
+        if stats is not None:
+            stats.record(solve)
         diff = solve.x[u, :] - solve.x[v, :]
         resistance_estimate += np.einsum("ij,ij->i", diff, diff)
         matvecs += solve.matvecs
+        precond_applications += solve.precond_applications
+        iterations_total += int(solve.iterations.sum())
         work += solve.work
         converged = converged and solve.all_converged
     return ApproxResistanceResult(
@@ -199,6 +242,9 @@ def approximate_effective_resistances_detailed(
         solver_converged=converged,
         matvecs=matvecs,
         work=work,
+        solver=resolved,
+        iterations_total=iterations_total,
+        precond_applications=precond_applications,
     )
 
 
@@ -209,6 +255,7 @@ def approximate_effective_resistances(
     seed: SeedLike = None,
     solver_tol: float = 1e-8,
     block_size: int = 128,
+    solver: str = "cg",
 ) -> np.ndarray:
     """Approximate ``R_e[G]`` for every edge via JL sketching.
 
@@ -223,4 +270,5 @@ def approximate_effective_resistances(
         seed=seed,
         solver_tol=solver_tol,
         block_size=block_size,
+        solver=solver,
     ).resistances

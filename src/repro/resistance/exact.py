@@ -36,6 +36,11 @@ from repro.graphs.connectivity import connected_components
 from repro.graphs.graph import Graph
 from repro.linalg.cg import laplacian_solve_many
 from repro.linalg.pseudoinverse import laplacian_pseudoinverse
+from repro.resistance.solver_select import (
+    ResistanceSolveStats,
+    chain_preconditioner_for,
+    resolve_solver,
+)
 
 __all__ = [
     "effective_resistance",
@@ -88,8 +93,18 @@ def _blocked_pair_resistances(
     tol: float,
     block_size: int,
     labels: np.ndarray,
+    solver: str = "cg",
+    stats: Optional[ResistanceSolveStats] = None,
 ) -> np.ndarray:
-    """Resistances for deduplicated pairs ``(lo[j], hi[j])`` via blocked CG.
+    """Resistances for deduplicated pairs ``(lo[j], hi[j])`` via blocked (P)CG.
+
+    ``solver`` selects plain blocked CG (``"cg"``), chain-preconditioned
+    blocked CG (``"chain"`` — the preconditioner chain comes from the
+    process-wide cache and is built at most once per graph), or the
+    size/conditioning heuristic (``"auto"``); see
+    :mod:`repro.resistance.solver_select`.  ``stats`` optionally
+    accumulates per-column iteration/matvec/work counts across every
+    inner solve.
 
     Chooses between two right-hand-side layouts:
 
@@ -138,6 +153,8 @@ def _blocked_pair_resistances(
                 tol,
                 block_size,
                 np.zeros(ids.size, dtype=np.int64),
+                solver=solver,
+                stats=stats,
             )
         return results
     lap = graph.laplacian().tocsr()
@@ -146,6 +163,15 @@ def _blocked_pair_resistances(
         and vertex_path_pays
         and n * vertices.size * 8 <= _VERTEX_BLOCK_BUDGET
     )
+    # Resolve the solver once per (sub)graph against the *total* column
+    # count — the chain build amortizes across all chunks via the cache.
+    resolved = resolve_solver(solver, graph, vertices.size if use_vertex_columns else k)
+    preconditioner = None
+    precond_work = 0.0
+    if resolved == "chain":
+        preconditioner, precond_work = chain_preconditioner_for(graph, stats=stats)
+    if stats is not None:
+        stats.solver = resolved
     if use_vertex_columns:
         position = np.empty(n, dtype=np.int64)
         position[vertices] = np.arange(vertices.size)
@@ -153,7 +179,16 @@ def _blocked_pair_resistances(
             (np.ones(vertices.size), (vertices, np.arange(vertices.size))),
             shape=(n, vertices.size),
         )
-        solve = laplacian_solve_many(lap, rhs, tol=tol, block_size=block_size)
+        solve = laplacian_solve_many(
+            lap,
+            rhs,
+            tol=tol,
+            block_size=block_size,
+            preconditioner=preconditioner,
+            precond_work_per_application=precond_work,
+        )
+        if stats is not None:
+            stats.record(solve)
         _warn_if_unconverged(solve, tol, "vertex-indicator columns")
         # Columns of the solve block are L^+ e_v; R_uv reads off four entries.
         x = solve.x
@@ -173,7 +208,16 @@ def _blocked_pair_resistances(
             ),
             shape=(n, width),
         )
-        solve = laplacian_solve_many(lap, rhs, tol=tol, block_size=block_size)
+        solve = laplacian_solve_many(
+            lap,
+            rhs,
+            tol=tol,
+            block_size=block_size,
+            preconditioner=preconditioner,
+            precond_work_per_application=precond_work,
+        )
+        if stats is not None:
+            stats.record(solve)
         _warn_if_unconverged(solve, tol, f"pair-indicator columns {start}:{stop}")
         results[start:stop] = solve.x[chunk_lo, arange] - solve.x[chunk_hi, arange]
     return results
@@ -185,6 +229,8 @@ def effective_resistances_of_pairs(
     method: str = "auto",
     tol: float = 1e-10,
     block_size: int = 128,
+    solver: str = "cg",
+    stats: Optional[ResistanceSolveStats] = None,
 ) -> np.ndarray:
     """Effective resistances for an explicit list of vertex pairs.
 
@@ -204,6 +250,15 @@ def effective_resistances_of_pairs(
         Solver tolerance for the CG path.
     block_size:
         Columns per chunk of the blocked solve (bounds peak memory).
+    solver:
+        ``"cg"`` (plain blocked CG — the default, identical to prior
+        behavior), ``"chain"`` (chain-preconditioned blocked CG with a
+        cached Peng–Spielman chain), or ``"auto"`` (chain only past the
+        size/conditioning thresholds of
+        :mod:`repro.resistance.solver_select`).  Ignored on the pinv path.
+    stats:
+        Optional :class:`~repro.resistance.solver_select.ResistanceSolveStats`
+        accumulating iteration/matvec/work counts of the inner solves.
     """
     pair_arr = np.asarray(pairs, dtype=np.int64)
     if pair_arr.ndim != 2 or pair_arr.shape[1] != 2:
@@ -234,23 +289,31 @@ def effective_resistances_of_pairs(
         unique_lo = unique_keys // n
         unique_hi = unique_keys % n
         unique_res = _blocked_pair_resistances(
-            graph, unique_lo, unique_hi, tol, block_size, labels
+            graph, unique_lo, unique_hi, tol, block_size, labels, solver=solver, stats=stats
         )
         return unique_res[inverse]
     raise ValueError(f"unknown method {method!r}; expected 'pinv', 'solve', or 'auto'")
 
 
 def effective_resistance(
-    graph: Graph, u: int, v: int, method: str = "auto", tol: float = 1e-10
+    graph: Graph, u: int, v: int, method: str = "auto", tol: float = 1e-10,
+    solver: str = "cg",
 ) -> float:
     """Effective resistance between a single pair of vertices."""
     return float(
-        effective_resistances_of_pairs(graph, [(u, v)], method=method, tol=tol)[0]
+        effective_resistances_of_pairs(
+            graph, [(u, v)], method=method, tol=tol, solver=solver
+        )[0]
     )
 
 
 def effective_resistances_all_edges(
-    graph: Graph, method: str = "auto", tol: float = 1e-10, block_size: int = 128
+    graph: Graph,
+    method: str = "auto",
+    tol: float = 1e-10,
+    block_size: int = 128,
+    solver: str = "cg",
+    stats: Optional[ResistanceSolveStats] = None,
 ) -> np.ndarray:
     """Effective resistance ``R_e[G]`` of every edge of the graph.
 
@@ -259,7 +322,8 @@ def effective_resistances_all_edges(
     multi-RHS CG pass over deduplicated indicator columns (vertex columns
     on connected graphs — ``n`` solves instead of ``m``), so leverage
     scores stay affordable at the scales the spanner and CONGEST
-    benchmarks reach.
+    benchmarks reach.  ``solver``/``stats`` select and instrument the
+    blocked solver exactly as in :func:`effective_resistances_of_pairs`.
     """
     if graph.num_edges == 0:
         return np.zeros(0)
@@ -273,12 +337,18 @@ def effective_resistances_all_edges(
         return pinv[uu, uu] + pinv[vv, vv] - 2.0 * pinv[uu, vv]
     pairs = np.stack([graph.edge_u, graph.edge_v], axis=1)
     return effective_resistances_of_pairs(
-        graph, pairs, method=method, tol=tol, block_size=block_size
+        graph, pairs, method=method, tol=tol, block_size=block_size,
+        solver=solver, stats=stats,
     )
 
 
 def leverage_scores(
-    graph: Graph, method: str = "auto", tol: float = 1e-10, block_size: int = 128
+    graph: Graph,
+    method: str = "auto",
+    tol: float = 1e-10,
+    block_size: int = 128,
+    solver: str = "cg",
+    stats: Optional[ResistanceSolveStats] = None,
 ) -> np.ndarray:
     """Leverage scores ``tau_e = w_e * R_e[G]`` for every edge.
 
@@ -288,6 +358,7 @@ def leverage_scores(
     leverage scores of edges outside a t-bundle spanner.
     """
     resistances = effective_resistances_all_edges(
-        graph, method=method, tol=tol, block_size=block_size
+        graph, method=method, tol=tol, block_size=block_size,
+        solver=solver, stats=stats,
     )
     return graph.edge_weights * resistances

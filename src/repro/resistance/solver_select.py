@@ -1,0 +1,159 @@
+"""Solver selection for the resistance / certification layer.
+
+PR 5 made every resistance route go through the blocked multi-RHS CG
+solver; this module decides *which* blocked solver each call uses:
+
+* ``"cg"`` — plain blocked CG, exactly the PR 5 behavior (the default).
+* ``"chain"`` — blocked CG preconditioned with a Peng–Spielman
+  approximate inverse chain built by ``PARALLELSPARSIFY`` itself
+  (:func:`repro.solvers.chain.build_preconditioner_chain`).  This closes
+  the paper's loop: the sparsification machinery accelerates the very
+  solves that certify sparsifiers.
+* ``"auto"`` — pick ``"chain"`` only when it is expected to pay *in the
+  paper's cost model* (iteration count ~ sequential PCG rounds, each
+  chain application a polylog-depth parallel operation): the graph is
+  large, the solve has enough right-hand-side columns to amortize the
+  chain build, and a cheap power-iteration estimate of the
+  normalized-Laplacian spectral gap says plain CG would grind.  On one
+  CPU a chain application costs ~25 graph-matvecs of arithmetic, so
+  plain CG can still win wall-clock where it converges in a few hundred
+  iterations — ``BENCH_resistance.json`` records both sides.
+
+Chains are reused through the process-wide
+:func:`repro.solvers.chain.default_chain_cache`, keyed by
+``(graph_fingerprint, rho, seed)`` — a certification run touching the
+same graph repeatedly builds its chain exactly once.
+
+:class:`ResistanceSolveStats` is the optional accumulator the benchmark
+layer threads through these routes to report iteration counts and matvec
+work (machine-independent quantities) instead of only wall-clock seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.graphs.graph import Graph
+from repro.linalg.cg import BatchSolveResult
+
+# repro.solvers is imported lazily inside the functions below: the solvers
+# package depends on repro.core (chain construction runs PARALLELSPARSIFY),
+# which depends on repro.spanners, which uses the resistance layer for
+# stretch certification — a top-level import here would close that cycle.
+
+__all__ = [
+    "SOLVER_CHOICES",
+    "ResistanceSolveStats",
+    "resolve_solver",
+    "chain_preconditioner_for",
+]
+
+SOLVER_CHOICES = ("cg", "chain", "auto")
+
+# The "auto" rule: chain preconditioning must amortize a super-linear build
+# over many columns, and only pays when plain CG would need many iterations.
+# Below these floors the plain solver finishes before a chain could even be
+# constructed (measured in benchmarks/bench_resistance.py).
+CHAIN_MIN_VERTICES = 4096
+CHAIN_MIN_COLUMNS = 32
+# Normalized-Laplacian gap under which plain CG iteration counts blow up
+# (iterations scale like 1/sqrt(lambda_min)); above it CG converges in a
+# few dozen iterations and preconditioning cannot win.
+CHAIN_LAMBDA_THRESHOLD = 0.02
+
+
+@dataclass
+class ResistanceSolveStats:
+    """Accumulated solver effort across the solves of one resistance call.
+
+    All counts are *column* quantities (a blocked pass over ``c`` active
+    columns counts ``c``), matching :class:`repro.linalg.cg.BatchSolveResult`,
+    so they are directly comparable between blocked and looped solvers and
+    across ``solver=`` choices.
+    """
+
+    solver: str = "cg"
+    solves: int = 0
+    columns: int = 0
+    iterations_total: int = 0
+    iterations_max: int = 0
+    matvecs: int = 0
+    precond_applications: int = 0
+    work: float = 0.0
+    chain_builds: int = 0
+
+    @property
+    def iterations_mean(self) -> float:
+        """Mean CG iterations per right-hand-side column."""
+        return self.iterations_total / self.columns if self.columns else 0.0
+
+    def record(self, solve: BatchSolveResult) -> None:
+        self.solves += 1
+        self.columns += solve.num_columns
+        self.iterations_total += int(solve.iterations.sum())
+        self.iterations_max = max(self.iterations_max, int(solve.iterations.max(initial=0)))
+        self.matvecs += int(solve.matvecs)
+        self.precond_applications += int(solve.precond_applications)
+        self.work += float(solve.work)
+
+    def to_dict(self) -> dict:
+        return {
+            "solver": self.solver,
+            "solves": self.solves,
+            "columns": self.columns,
+            "iterations_total": self.iterations_total,
+            "iterations_mean": self.iterations_mean,
+            "iterations_max": self.iterations_max,
+            "matvecs": self.matvecs,
+            "precond_applications": self.precond_applications,
+            "work": self.work,
+            "chain_builds": self.chain_builds,
+        }
+
+
+def resolve_solver(solver: str, graph: Graph, num_columns: int) -> str:
+    """Resolve a ``solver=`` knob to ``"cg"`` or ``"chain"`` for one call.
+
+    ``"cg"`` and ``"chain"`` pass through unchanged; ``"auto"`` applies the
+    size/columns/conditioning rule documented at module level.
+    """
+    if solver not in SOLVER_CHOICES:
+        raise ValueError(
+            f"unknown solver {solver!r}; expected one of {', '.join(SOLVER_CHOICES)}"
+        )
+    if solver != "auto":
+        return solver
+    if graph.num_vertices < CHAIN_MIN_VERTICES or num_columns < CHAIN_MIN_COLUMNS:
+        return "cg"
+    from repro.solvers.chain import estimate_normalized_lambda_min
+
+    gap = estimate_normalized_lambda_min(graph)
+    return "chain" if gap < CHAIN_LAMBDA_THRESHOLD else "cg"
+
+
+def chain_preconditioner_for(
+    graph: Graph,
+    stats: Optional[ResistanceSolveStats] = None,
+    seed: int = 0,
+) -> Tuple[Callable[[np.ndarray], np.ndarray], float]:
+    """Blocked chain preconditioner for ``graph`` plus its per-column cost.
+
+    The chain comes from the process-wide cache, so repeated calls for the
+    same graph (every chunk of a certification run) share one build; the
+    build count charged to *this* call is recorded on ``stats``.
+    Returns ``(preconditioner, work_per_application)`` ready to pass to
+    :func:`repro.linalg.cg.laplacian_solve_many`.
+    """
+    from repro.solvers.chain import chain_preconditioner, default_chain_cache
+    from repro.solvers.work_model import chain_work_model
+
+    cache = default_chain_cache()
+    builds_before = cache.builds
+    chain = cache.chain_for(graph, seed=seed)
+    if stats is not None:
+        stats.chain_builds += cache.builds - builds_before
+    work_per_application = chain_work_model(chain).work_per_application
+    return chain_preconditioner(chain), work_per_application

@@ -23,11 +23,16 @@ Modules
 """
 
 from repro.solvers.chain import (
+    ChainCache,
     ChainLevel,
     InverseChain,
     apply_chain,
     build_inverse_chain,
+    build_preconditioner_chain,
     chain_preconditioner,
+    default_chain_cache,
+    estimate_normalized_lambda_min,
+    graph_fingerprint,
 )
 from repro.solvers.peng_spielman import (
     SDDSolveReport,
@@ -39,11 +44,16 @@ from repro.solvers.peng_spielman import (
 from repro.solvers.work_model import ChainWorkModel, chain_work_model
 
 __all__ = [
+    "ChainCache",
     "ChainLevel",
     "InverseChain",
     "apply_chain",
     "build_inverse_chain",
+    "build_preconditioner_chain",
     "chain_preconditioner",
+    "default_chain_cache",
+    "estimate_normalized_lambda_min",
+    "graph_fingerprint",
     "SDDSolveReport",
     "solve_laplacian",
     "solve_sdd",

@@ -26,7 +26,13 @@ from repro.core.sparsify import parallel_sparsify
 from repro.exceptions import NotSDDError
 from repro.graphs.conversion import from_laplacian
 from repro.graphs.graph import Graph
-from repro.linalg.cg import SolveResult, conjugate_gradient, laplacian_solve
+from repro.linalg.cg import (
+    BatchSolveResult,
+    SolveResult,
+    conjugate_gradient,
+    laplacian_solve,
+    laplacian_solve_many,
+)
 from repro.linalg.eigen import condition_number
 from repro.linalg.sdd import SDDMatrix, is_sdd
 from repro.solvers.chain import InverseChain, build_inverse_chain, chain_preconditioner
@@ -51,6 +57,9 @@ class SDDSolveReport:
     ----------
     result:
         The iterative solve outcome (solution, iterations, residual, work).
+        For a 2-D right-hand side this is a summary view (worst column's
+        iteration count / residual, aggregate matvecs and work); the full
+        per-column data lives in ``batch``.
     chain:
         The approximate inverse chain used (None for baselines).
     work_model:
@@ -60,6 +69,10 @@ class SDDSolveReport:
         on.
     condition_estimate:
         Estimated condition number of the input system.
+    batch:
+        Per-column :class:`repro.linalg.cg.BatchSolveResult` when the
+        right-hand side was 2-D (solved through the blocked path); None
+        for single-vector solves.
     """
 
     result: SolveResult
@@ -67,6 +80,7 @@ class SDDSolveReport:
     work_model: Optional[ChainWorkModel]
     preconditioner_graph_edges: int
     condition_estimate: float
+    batch: Optional[BatchSolveResult] = None
 
     @property
     def x(self) -> np.ndarray:
@@ -101,6 +115,7 @@ def solve_laplacian(
     chain: Optional[InverseChain] = None,
     max_iterations: Optional[int] = None,
     seed: SeedLike = None,
+    block_size: int = 128,
 ) -> SDDSolveReport:
     """Solve ``L_G x = rhs`` with the chain-preconditioned solver.
 
@@ -109,7 +124,13 @@ def solve_laplacian(
     graph:
         Connected weighted graph defining the Laplacian.
     rhs:
-        Right-hand side (projected against constants internally).
+        Right-hand side (projected against constants internally).  A 2-D
+        ``(n, k)`` array is solved through the blocked multi-RHS path
+        (:func:`repro.linalg.cg.laplacian_solve_many`) with the chain
+        attached as a blocked preconditioner — one chain build and one
+        flat matrix pass per iteration for all ``k`` columns, instead of
+        ``k`` independent solves; the report then carries the per-column
+        outcome in ``batch``.
     tol:
         Relative residual target.
     config:
@@ -127,7 +148,12 @@ def solve_laplacian(
         Reuse an existing chain instead of building one.
     seed:
         RNG seed for all sparsifier invocations.
+    block_size:
+        Columns per chunk of the blocked path (2-D ``rhs`` only).
     """
+    rhs_arr = np.asarray(rhs, dtype=float)
+    if rhs_arr.ndim > 2:
+        raise ValueError(f"rhs must be 1-D or 2-D, got shape {rhs_arr.shape}")
     rng = as_rng(seed)
     config = config if config is not None else SparsifierConfig()
     kappa = estimate_condition_number(graph)
@@ -154,6 +180,36 @@ def solve_laplacian(
         )
 
     model_stub = chain_work_model(chain)
+    if rhs_arr.ndim == 2:
+        # Blocked delegation: the chain applies to the whole active block,
+        # so k columns cost one flat pass per operator per iteration.
+        batch = laplacian_solve_many(
+            graph.laplacian(),
+            rhs_arr,
+            tol=tol,
+            max_iterations=max_iterations,
+            block_size=block_size,
+            preconditioner=chain_preconditioner(chain),
+            precond_work_per_application=model_stub.work_per_application,
+        )
+        result = SolveResult(
+            x=batch.x,
+            converged=batch.all_converged,
+            iterations=int(batch.iterations.max(initial=0)),
+            residual_norm=float(batch.residual_norms.max(initial=0.0)),
+            matvecs=batch.matvecs,
+            precond_applications=batch.precond_applications,
+            work=batch.work,
+            residual_history=[],
+        )
+        return SDDSolveReport(
+            result=result,
+            chain=chain,
+            work_model=chain_work_model(chain, result),
+            preconditioner_graph_edges=preconditioner_graph.num_edges,
+            condition_estimate=kappa,
+            batch=batch,
+        )
     result = laplacian_solve(
         graph.laplacian(),
         rhs,

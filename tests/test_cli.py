@@ -82,6 +82,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sparsify", "a", "b", "--mode", "heroic"])
 
+    def test_solver_flag(self):
+        args = build_parser().parse_args(["sparsify", "in.txt", "out.txt"])
+        assert args.solver is None  # unset sentinel: config default wins
+        args = build_parser().parse_args(
+            ["sparsify", "in.txt", "out.txt", "--solver", "chain"]
+        )
+        assert args.solver == "chain"
+
+    def test_rejects_unknown_solver(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sparsify", "a", "b", "--solver", "gaussian"])
+
 
 class TestSparsifyCommand:
     def test_writes_sparsifier(self, edge_list_file, tmp_path, capsys):
@@ -119,6 +131,20 @@ class TestSparsifyCommand:
         output = capsys.readouterr().out
         assert "resistance certificate:" in output
         assert "8 probe pairs" in output
+
+    def test_solver_chain_certifies_end_to_end(self, edge_list_file, tmp_path, capsys):
+        """--solver chain routes the resistance certificate through chain-PCG."""
+        in_path, _ = edge_list_file
+        out_path = tmp_path / "sparse.txt"
+        code = main([
+            "sparsify", str(in_path), str(out_path),
+            "--bundle-t", "2", "--certify-resistances", "6", "--seed", "1",
+            "--solver", "chain",
+        ])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "resistance certificate:" in output
+        assert "6 probe pairs" in output
 
     def test_tree_bundle_flag(self, edge_list_file, tmp_path):
         in_path, graph = edge_list_file

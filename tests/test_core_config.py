@@ -41,6 +41,13 @@ class TestValidation:
         with pytest.raises(SparsificationError):
             SparsifierConfig(min_edges_to_sparsify=-1)
 
+    def test_solver_choices(self):
+        assert SparsifierConfig().solver == "cg"
+        for choice in ("cg", "chain", "auto"):
+            assert SparsifierConfig(solver=choice).solver == choice
+        with pytest.raises(SparsificationError):
+            SparsifierConfig(solver="gaussian")
+
     def test_frozen(self):
         with pytest.raises(Exception):
             SparsifierConfig().epsilon = 0.1

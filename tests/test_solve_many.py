@@ -386,3 +386,269 @@ class TestSampleComponentPairs:
         pairs = sample_component_pairs(labels, 12, np.random.default_rng(2))
         assert pairs.shape == (12, 2)
         assert np.all(labels[pairs[:, 0]] == labels[pairs[:, 1]])
+
+
+class TestChainPreconditionedBlockCG:
+    """PR 6: the blocked solver with a Peng–Spielman chain preconditioner."""
+
+    def _chain_setup(self, graph):
+        from repro.solvers.chain import build_preconditioner_chain, chain_preconditioner
+        from repro.solvers.work_model import chain_work_model
+
+        chain = build_preconditioner_chain(graph, seed=0)
+        return chain_preconditioner(chain), chain_work_model(chain).work_per_application
+
+    def test_preconditioned_matches_plain_and_pinv(self, weighted_er_graph):
+        lap = weighted_er_graph.laplacian()
+        pre, work_per_app = self._chain_setup(weighted_er_graph)
+        rng = np.random.default_rng(21)
+        rhs = rng.standard_normal((weighted_er_graph.num_vertices, 7))
+        rhs -= rhs.mean(axis=0)
+        plain = laplacian_solve_many(lap, rhs, tol=1e-11)
+        chained = laplacian_solve_many(
+            lap, rhs, tol=1e-11, preconditioner=pre,
+            precond_work_per_application=work_per_app,
+        )
+        pinv = laplacian_pseudoinverse(lap)
+        assert chained.all_converged
+        assert np.allclose(chained.x, plain.x, atol=1e-7)
+        assert np.allclose(chained.x, pinv @ rhs, atol=1e-6)
+
+    def test_block_size_invariance_with_preconditioner(self, small_er_graph):
+        lap = small_er_graph.laplacian()
+        pre, work_per_app = self._chain_setup(small_er_graph)
+        rng = np.random.default_rng(22)
+        rhs = rng.standard_normal((small_er_graph.num_vertices, 10))
+        rhs -= rhs.mean(axis=0)
+        a = laplacian_solve_many(lap, rhs, tol=1e-11, block_size=3,
+                                 preconditioner=pre,
+                                 precond_work_per_application=work_per_app)
+        b = laplacian_solve_many(lap, rhs, tol=1e-11, block_size=10,
+                                 preconditioner=pre,
+                                 precond_work_per_application=work_per_app)
+        assert np.allclose(a.x, b.x, atol=1e-7)
+        # Per-block state is independent, so per-column effort is identical too.
+        assert np.array_equal(a.iterations, b.iterations)
+        assert a.precond_applications == b.precond_applications
+
+    def test_work_strictly_counts_preconditioner_applications(self, small_er_graph):
+        """Regression: BatchSolveResult.work must charge every z = M^-1 r."""
+        lap = small_er_graph.laplacian().tocsr()
+        pre, work_per_app = self._chain_setup(small_er_graph)
+        assert work_per_app > 0
+        rng = np.random.default_rng(23)
+        rhs = rng.standard_normal((small_er_graph.num_vertices, 5))
+        rhs -= rhs.mean(axis=0)
+        batch = laplacian_solve_many(lap, rhs, tol=1e-9, preconditioner=pre,
+                                     precond_work_per_application=work_per_app)
+        assert batch.precond_applications > 0
+        assert batch.work == pytest.approx(
+            lap.nnz * batch.matvecs + work_per_app * batch.precond_applications
+        )
+        assert batch.work > lap.nnz * batch.matvecs  # strictly more than matvecs alone
+        plain = laplacian_solve_many(lap, rhs, tol=1e-9)
+        assert plain.precond_applications == 0
+        assert plain.work == pytest.approx(lap.nnz * plain.matvecs)
+
+    def test_compression_with_mixed_easy_hard_columns(self, small_er_graph):
+        """Frozen-column compression must keep preconditioned state consistent.
+
+        Eight of twelve columns are zero, so they freeze at iteration 0 and
+        the live block is physically compressed on the first loop pass
+        (the >= half-frozen rule) while the preconditioner is attached; the
+        dense random columns must still land on the pseudoinverse solution.
+        """
+        g = small_er_graph
+        n = g.num_vertices
+        lap = g.laplacian()
+        pre, work_per_app = self._chain_setup(g)
+        rng = np.random.default_rng(24)
+        rhs = np.zeros((n, 12))
+        rhs[:, 8:] = rng.standard_normal((n, 4))  # hard: dense random
+        rhs[:, 8:] -= rhs[:, 8:].mean(axis=0)
+        batch = laplacian_solve_many(lap, rhs, tol=1e-11, block_size=12,
+                                     preconditioner=pre,
+                                     precond_work_per_application=work_per_app)
+        assert batch.all_converged
+        pinv = laplacian_pseudoinverse(lap)
+        assert np.allclose(batch.x, pinv @ rhs, atol=1e-6)
+        # The zero columns froze immediately (forcing the compression) and
+        # stayed exactly zero; the hard ones did real work.
+        assert np.all(batch.iterations[:8] == 0)
+        assert np.all(batch.x[:, :8] == 0.0)
+        assert np.all(batch.iterations[8:] > 0)
+
+    def test_apply_chain_blocked_matches_columnwise(self, small_er_graph):
+        from repro.solvers.chain import apply_chain, build_preconditioner_chain
+
+        chain = build_preconditioner_chain(small_er_graph, seed=0)
+        rng = np.random.default_rng(25)
+        block = rng.standard_normal((small_er_graph.num_vertices, 6))
+        blocked = apply_chain(chain, block)
+        assert blocked.shape == block.shape
+        for j in range(block.shape[1]):
+            assert np.allclose(blocked[:, j], apply_chain(chain, block[:, j]),
+                               atol=1e-12)
+        with pytest.raises(ValueError):
+            apply_chain(chain, np.zeros((3, 2, 1)))
+
+    def test_validate_rejects_non_laplacian(self, small_er_graph):
+        """Opt-in deflate contract check: deflation assumes a Laplacian."""
+        bad = sp.identity(12, format="csr")  # SPD, but row sums are 1, not 0
+        rhs = np.zeros((12, 2))
+        with pytest.raises(ValueError, match="not a graph Laplacian"):
+            laplacian_solve_many(bad, rhs, validate=True)
+        laplacian_solve_many(bad, rhs)  # default: taken on faith (documented)
+        lap = small_er_graph.laplacian()
+        good_rhs = np.zeros((small_er_graph.num_vertices, 2))
+        assert laplacian_solve_many(lap, good_rhs, validate=True).all_converged
+
+
+class TestSolverKnobRouting:
+    """solver="cg"|"chain"|"auto" through the resistance / certification layer."""
+
+    def test_pairs_chain_matches_cg_and_pinv(self, weighted_er_graph):
+        pairs = np.array([(0, 5), (3, 17), (10, 40), (2, 60)])
+        by_cg = effective_resistances_of_pairs(
+            weighted_er_graph, pairs, method="solve", solver="cg"
+        )
+        by_chain = effective_resistances_of_pairs(
+            weighted_er_graph, pairs, method="solve", solver="chain"
+        )
+        by_pinv = effective_resistances_of_pairs(weighted_er_graph, pairs, method="pinv")
+        assert np.allclose(by_chain, by_cg, rtol=1e-6)
+        assert np.allclose(by_chain, by_pinv, rtol=1e-6)
+
+    def test_all_edges_and_leverage_chain_parity(self, small_er_graph):
+        by_chain = effective_resistances_all_edges(
+            small_er_graph, method="solve", solver="chain"
+        )
+        by_pinv = effective_resistances_all_edges(small_er_graph, method="pinv")
+        assert np.allclose(by_chain, by_pinv, rtol=1e-6)
+        lev_chain = leverage_scores(small_er_graph, method="solve", solver="chain")
+        lev_pinv = leverage_scores(small_er_graph, method="pinv")
+        assert np.allclose(lev_chain, lev_pinv, rtol=1e-6)
+
+    def test_jl_chain_same_seed_matches_cg(self, small_er_graph):
+        """Same seed -> same sign matrix; only solver tolerance separates them."""
+        with pytest.warns(UserWarning):
+            by_cg = approximate_effective_resistances(
+                small_er_graph, num_directions=16, seed=7, solver="cg",
+                solver_tol=1e-10,
+            )
+            by_chain = approximate_effective_resistances(
+                small_er_graph, num_directions=16, seed=7, solver="chain",
+                solver_tol=1e-10,
+            )
+        assert np.allclose(by_chain, by_cg, rtol=1e-6)
+
+    def test_disconnected_graph_chain_solver(self, triangle_graph):
+        part = gen.erdos_renyi_graph(20, 0.3, seed=31, ensure_connected=True)
+        graph = disjoint_union(part, disjoint_union(part, triangle_graph))
+        pairs = [(0, 1), (21, 30), (41, 42)]
+        by_chain = effective_resistances_of_pairs(
+            graph, pairs, method="solve", solver="chain"
+        )
+        by_pinv = effective_resistances_of_pairs(graph, pairs, method="pinv")
+        assert np.allclose(by_chain, by_pinv, rtol=1e-6)
+
+    def test_solver_cg_is_bit_identical_to_default(self, weighted_er_graph):
+        """solver="cg" must be operation-for-operation the PR 5 path."""
+        pairs = np.array([(0, 5), (3, 17), (10, 40)])
+        default = effective_resistances_of_pairs(weighted_er_graph, pairs, method="solve")
+        explicit = effective_resistances_of_pairs(
+            weighted_er_graph, pairs, method="solve", solver="cg"
+        )
+        assert np.array_equal(default, explicit)
+        all_default = effective_resistances_all_edges(weighted_er_graph, method="solve")
+        all_explicit = effective_resistances_all_edges(
+            weighted_er_graph, method="solve", solver="cg"
+        )
+        assert np.array_equal(all_default, all_explicit)
+
+    def test_chain_built_once_per_graph_across_chunks(self):
+        """One certification run builds its chain exactly once (cache key hit)."""
+        from repro.resistance.solver_select import ResistanceSolveStats
+
+        graph = gen.erdos_renyi_graph(70, 0.15, seed=77, ensure_connected=True)
+        stats = ResistanceSolveStats()
+        with pytest.warns(UserWarning):
+            approximate_effective_resistances_detailed(
+                graph, num_directions=24, seed=1, solver="chain", block_size=4,
+                stats=stats,
+            )
+        assert stats.solver == "chain"
+        assert stats.solves > 1  # several chunks ...
+        assert stats.chain_builds == 1  # ... one build
+        assert stats.precond_applications > 0
+        repeat = ResistanceSolveStats()
+        with pytest.warns(UserWarning):
+            approximate_effective_resistances_detailed(
+                graph, num_directions=24, seed=1, solver="chain", block_size=4,
+                stats=repeat,
+            )
+        assert repeat.chain_builds == 0  # cache hit: no new build
+
+    def test_stats_accumulate_on_plain_path(self, small_er_graph):
+        from repro.resistance.solver_select import ResistanceSolveStats
+
+        stats = ResistanceSolveStats()
+        effective_resistances_all_edges(
+            small_er_graph, method="solve", solver="cg", stats=stats
+        )
+        assert stats.solver == "cg"
+        assert stats.iterations_total > 0
+        assert stats.matvecs > 0
+        assert stats.precond_applications == 0
+        assert stats.work > 0
+        assert stats.iterations_mean > 0
+
+    def test_invalid_solver_rejected(self, small_er_graph):
+        with pytest.raises(ValueError, match="unknown solver"):
+            effective_resistances_all_edges(
+                small_er_graph, method="solve", solver="bogus"
+            )
+
+    def test_certify_resistances_threads_solver(self, small_er_graph):
+        from repro.core.certificates import certify_resistances
+
+        cert_cg = certify_resistances(
+            small_er_graph, small_er_graph, num_pairs=6, seed=0, solver="cg"
+        )
+        cert_chain = certify_resistances(
+            small_er_graph, small_er_graph, num_pairs=6, seed=0, solver="chain"
+        )
+        assert cert_chain.holds(0.1)
+        assert cert_chain.epsilon_refuted_below == pytest.approx(
+            cert_cg.epsilon_refuted_below, abs=1e-6
+        )
+
+
+class TestPengSpielmanBlockedDelegation:
+    def test_2d_rhs_matches_per_column_solves(self, small_er_graph):
+        from repro.core.config import SparsifierConfig
+        from repro.solvers.peng_spielman import solve_laplacian
+
+        config = SparsifierConfig.practical(bundle_t=1)
+        rng = np.random.default_rng(33)
+        rhs = rng.standard_normal((small_er_graph.num_vertices, 5))
+        rhs -= rhs.mean(axis=0)
+        report = solve_laplacian(small_er_graph, rhs, tol=1e-10, config=config, seed=2)
+        assert report.batch is not None
+        assert report.result.converged
+        assert report.batch.precond_applications > 0
+        assert report.result.work == pytest.approx(report.batch.work)
+        for j in range(rhs.shape[1]):
+            single = solve_laplacian(
+                small_er_graph, rhs[:, j], tol=1e-10, chain=report.chain
+            )
+            assert single.batch is None
+            a = report.x[:, j] - report.x[:, j].mean()
+            b = single.x - single.x.mean()
+            assert np.allclose(a, b, atol=1e-6)
+
+    def test_3d_rhs_rejected(self, small_er_graph):
+        from repro.solvers.peng_spielman import solve_laplacian
+
+        with pytest.raises(ValueError, match="1-D or 2-D"):
+            solve_laplacian(small_er_graph, np.zeros((4, 2, 2)))
