@@ -35,6 +35,7 @@ from repro.core.config import SparsifierConfig
 from repro.exceptions import MethodError
 from repro.graphs.graph import Graph
 from repro.parallel.backends import get_backend
+from repro.parallel.failure import FailurePolicy, FailureRecord
 from repro.utils.rng import as_rng, split_rng
 
 __all__ = ["Engine", "sparsify", "compare_methods"]
@@ -210,7 +211,11 @@ class Engine:
         )
         return result
 
-    def run_many(self, graphs: Iterable[Graph]) -> UnifiedBatchResult:
+    def run_many(
+        self,
+        graphs: Iterable[Graph],
+        failure_policy: Optional[FailurePolicy] = None,
+    ) -> UnifiedBatchResult:
         """Execute the request independently on many graphs.
 
         The job fan-out runs on the request's backend; job ``i`` receives
@@ -219,6 +224,16 @@ class Engine:
         :func:`repro.core.batch.sparsify_many` exactly — so for
         ``method="koutis"`` the outputs are bit-identical to that legacy
         batch API at the same seed, on every backend and worker count.
+        Because the sub-streams are pre-split, a job retried under a
+        failure policy reproduces the same output as a run that never
+        crashed.
+
+        ``failure_policy`` governs worker failures exactly as in
+        :func:`repro.core.batch.sparsify_many`: ``"raise"`` fails fast
+        (default), ``"retry"`` re-runs crashed jobs with seeded backoff,
+        ``"collect"`` returns ``None`` slots with
+        :class:`~repro.parallel.failure.FailureRecord` entries on the
+        batch result instead of raising.
 
         Per-job ``"result"`` events (with ``job_index``) are emitted in
         input order after the fan-out completes, so telemetry behaves the
@@ -232,6 +247,7 @@ class Engine:
                 method=self._spec.name,
                 backend_name=backend.name,
                 max_workers=backend.max_workers,
+                attempts=[] if failure_policy is not None else None,
             )
         # Jobs run their internal work serially: the batch IS the fan-out
         # (same rule as sparsify_many — avoids nested pools, output-neutral).
@@ -245,11 +261,23 @@ class Engine:
             "rho": self.request.rho,
             "options": dict(self.request.options),
         }
-        outcomes = backend.map(_engine_job, items, shared=shared)
-        results: List[UnifiedResult] = []
-        for job_index, (graph, (native, wall_seconds)) in enumerate(
-            zip(graph_list, outcomes)
-        ):
+        failures: List[FailureRecord] = []
+        attempts: Optional[List[int]] = None
+        if failure_policy is None or failure_policy.is_fail_fast:
+            outcomes = backend.map(_engine_job, items, shared=shared)
+        else:
+            mapped = backend.map_outcomes(
+                _engine_job, items, shared=shared, policy=failure_policy
+            )
+            outcomes = mapped.values
+            failures = mapped.failures
+            attempts = mapped.attempts
+        results: List[Optional[UnifiedResult]] = []
+        for job_index, (graph, outcome) in enumerate(zip(graph_list, outcomes)):
+            if outcome is None:
+                results.append(None)
+                continue
+            native, wall_seconds = outcome
             result = self._wrap(graph, native, wall_seconds)
             results.append(result)
             self._make_emit(job_index)(
@@ -262,6 +290,8 @@ class Engine:
             method=self._spec.name,
             backend_name=backend.name,
             max_workers=backend.max_workers,
+            failures=failures,
+            attempts=attempts,
         )
 
 

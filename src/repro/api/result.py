@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Optional
 
 from repro.core.certificates import SpectralCertificate
 from repro.graphs.graph import Graph
+from repro.parallel.failure import FailureRecord
 from repro.parallel.metrics import DistributedCost, PRAMCost, combine_concurrent, combine_parallel
 
 __all__ = ["ProgressEvent", "UnifiedResult", "UnifiedBatchResult"]
@@ -121,12 +122,21 @@ class UnifiedBatchResult:
     Mirrors :class:`repro.core.batch.BatchSparsifyResult`'s aggregate
     accessors but holds :class:`UnifiedResult` objects, so batch
     workloads of *any* registered method report uniformly.
+
+    Under a ``failure_policy`` with ``on_error="collect"`` a permanently
+    failed job leaves ``None`` in its ``results`` slot and a
+    :class:`~repro.parallel.failure.FailureRecord` in ``failures``; the
+    aggregate accessors skip the ``None`` slots.  ``attempts`` holds
+    per-job attempt counts when a policy governed the run (``None``
+    otherwise).
     """
 
-    results: List[UnifiedResult] = field(default_factory=list)
+    results: List[Optional[UnifiedResult]] = field(default_factory=list)
     method: str = ""
     backend_name: str = "serial"
     max_workers: int = 1
+    failures: List[FailureRecord] = field(default_factory=list)
+    attempts: Optional[List[int]] = None
 
     def __iter__(self):
         return iter(self.results)
@@ -142,12 +152,20 @@ class UnifiedBatchResult:
         return len(self.results)
 
     @property
+    def num_failed(self) -> int:
+        return len(self.failures)
+
+    @property
+    def all_succeeded(self) -> bool:
+        return not self.failures
+
+    @property
     def total_input_edges(self) -> int:
-        return sum(r.input_edges for r in self.results)
+        return sum(r.input_edges for r in self.results if r is not None)
 
     @property
     def total_output_edges(self) -> int:
-        return sum(r.output_edges for r in self.results)
+        return sum(r.output_edges for r in self.results if r is not None)
 
     @property
     def reduction_factor(self) -> float:
@@ -167,7 +185,7 @@ class UnifiedBatchResult:
         costs combine with max-rounds / sum-messages.  ``None`` when the
         method reports no cost (the baselines).
         """
-        costs = [r.cost for r in self.results if r.cost is not None]
+        costs = [r.cost for r in self.results if r is not None and r.cost is not None]
         if not costs:
             return None
         if isinstance(costs[0], DistributedCost):

@@ -56,6 +56,7 @@ from repro.core.certificates import certify_resistances
 from repro.exceptions import ReproError
 from repro.graphs.io import read_edge_list, write_edge_list
 from repro.parallel.backends import available_backends
+from repro.parallel.failure import FailurePolicy
 from repro.spanners.baswana_sen import baswana_sen_spanner
 from repro.spanners.bundle import t_bundle_spanner
 
@@ -195,6 +196,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_method_argument(batch)
     _add_request_arguments(batch)
     _add_execution_arguments(batch)
+    batch.add_argument("--on-error", choices=["raise", "retry", "collect"], default="raise",
+                       help="worker-failure handling: fail fast (default), retry crashed "
+                            "jobs with seeded backoff, or finish the batch and report "
+                            "failed jobs (their outputs are skipped)")
+    batch.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="attempts per job when --on-error is retry/collect (default 3)")
 
     compare = subparsers.add_parser(
         "compare",
@@ -269,7 +276,12 @@ def _run_batch(args: argparse.Namespace) -> int:
     graphs = [read_edge_list(path) for path in args.inputs]
     request = _request_from_args(args)
     engine = Engine(request)
-    batch = engine.run_many(graphs)
+    failure_policy = None
+    if args.on_error != "raise":
+        failure_policy = FailurePolicy(
+            on_error=args.on_error, max_attempts=max(args.max_attempts, 1)
+        )
+    batch = engine.run_many(graphs, failure_policy=failure_policy)
     output_dir = Path(args.output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
     # Inputs from different directories may share a stem (and a stem may
@@ -287,15 +299,21 @@ def _run_batch(args: argparse.Namespace) -> int:
         used_names.add(candidate)
         out_names.append(candidate)
     for path, out_name, job in zip(args.inputs, out_names, batch.results):
+        if job is None:
+            continue  # failed job: reported below, no output written
         out_path = output_dir / out_name
         write_edge_list(job.sparsifier, out_path)
         print(f"{path}: m={job.input_edges} -> {job.output_edges} "
               f"({job.reduction_factor:.2f}x, {job.num_rounds} rounds) -> {out_path}")
+    for record in batch.failures:
+        print(f"{args.inputs[record.index]}: FAILED after {record.attempts} attempts "
+              f"({record.error_type}: {record.message})", file=sys.stderr)
     print(f"batch : {batch.num_jobs} jobs method={batch.method} "
-          f"backend={batch.backend_name} workers={batch.max_workers}")
+          f"backend={batch.backend_name} workers={batch.max_workers}"
+          + (f" failed={batch.num_failed}" if batch.failures else ""))
     print(f"total : m={batch.total_input_edges} -> {batch.total_output_edges} "
           f"({batch.reduction_factor:.2f}x reduction)")
-    return 0
+    return 1 if batch.failures else 0
 
 
 def _run_compare(args: argparse.Namespace) -> int:

@@ -24,6 +24,7 @@ from repro.graphs.connectivity import connected_components, sample_component_pai
 from repro.graphs.graph import Graph
 from repro.linalg.eigen import extreme_generalized_eigenvalues
 from repro.resistance.exact import effective_resistances_of_pairs
+from repro.resistance.solver_select import ResistanceSolveStats
 from repro.utils.rng import SeedLike, as_rng
 
 __all__ = [
@@ -155,6 +156,7 @@ def certify_resistances(
     tol: float = 1e-10,
     block_size: int = 128,
     solver: str = "cg",
+    stats: Optional[ResistanceSolveStats] = None,
 ) -> ResistanceCertificate:
     """Measure resistance preservation of ``sparsifier`` over probe pairs.
 
@@ -171,6 +173,12 @@ def certify_resistances(
     chain-preconditioned choice the original's and the sparsifier's
     chains are each built at most once per process thanks to the shared
     chain cache, so repeated certification stays cheap.
+
+    ``stats`` optionally accumulates the inner solves' iteration/work
+    counts *and* any :class:`~repro.resistance.solver_select.FallbackEvent`
+    taken on the graceful-degradation ladder (``chain → cg → pinv``) —
+    inspect ``stats.fallbacks`` to know whether the certificate's solves
+    ran degraded.
     """
     if original.num_vertices != sparsifier.num_vertices:
         raise ValueError(
@@ -193,7 +201,8 @@ def certify_resistances(
             num_pairs_used=0,
         )
     original_resistances = effective_resistances_of_pairs(
-        original, pair_arr, method=method, tol=tol, block_size=block_size, solver=solver
+        original, pair_arr, method=method, tol=tol, block_size=block_size,
+        solver=solver, stats=stats,
     )
     sparsifier_labels = connected_components(sparsifier)
     connected_in_sparsifier = (
@@ -208,6 +217,7 @@ def certify_resistances(
             tol=tol,
             block_size=block_size,
             solver=solver,
+            stats=stats,
         )
         ratios[connected_in_sparsifier] = sparsifier_resistances / np.maximum(
             original_resistances[connected_in_sparsifier], 1e-300

@@ -1,0 +1,214 @@
+"""Checkpoint journal for batch sparsification fan-outs.
+
+A long ``sparsify_many`` batch that dies at job 900 of 1000 should not
+re-pay the first 900 jobs on the next run.  :class:`BatchJournal` is the
+persistence layer behind ``sparsify_many(checkpoint=...)``:
+
+* **Append-only JSON lines.**  The journal is one JSON object per line —
+  a header line describing the batch followed by one line per completed
+  job.  Appends are atomic enough for this purpose (a crash mid-write
+  corrupts at most the trailing line, which is detected and dropped on
+  load); the header is validated so a journal from a different batch
+  shape is refused instead of silently merged.
+* **Content-addressed jobs.**  Each job line carries a digest of its
+  input graph (vertex count + exact edge arrays).  On resume the digest
+  is recomputed from the submitted graph; a mismatch at the same index
+  means the caller is replaying a *different* batch against an old
+  journal, which raises :class:`~repro.exceptions.CheckpointError` rather
+  than returning another graph's sparsifier.
+* **Bit-exact round-trip.**  Edge weights and cost scalars survive the
+  JSON round-trip exactly (Python serializes floats with shortest
+  round-trip repr), so a resumed batch's results are bit-identical to the
+  run that wrote the journal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.sparsify import RoundRecord, SparsifyResult
+from repro.exceptions import CheckpointError
+from repro.graphs.graph import Graph
+from repro.parallel.metrics import PRAMCost
+
+__all__ = ["BatchJournal", "batch_graph_digest"]
+
+_JOURNAL_VERSION = 1
+
+
+def batch_graph_digest(graph: Graph) -> str:
+    """Content hash of a graph's exact edge data (stable across processes)."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.int64(graph.num_vertices).tobytes())
+    digest.update(np.ascontiguousarray(graph.edge_u, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.edge_v, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(graph.edge_weights, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
+def _serialize_result(result: SparsifyResult) -> Dict[str, Any]:
+    sparsifier = result.sparsifier
+    return {
+        "sparsifier": {
+            "num_vertices": int(sparsifier.num_vertices),
+            "edge_u": sparsifier.edge_u.tolist(),
+            "edge_v": sparsifier.edge_v.tolist(),
+            "edge_weights": sparsifier.edge_weights.tolist(),
+        },
+        "rounds": [vars(record) for record in result.rounds],
+        "epsilon": result.epsilon,
+        "rho": result.rho,
+        "input_edges": int(result.input_edges),
+        "output_edges": int(result.output_edges),
+        "cost": {"work": result.cost.work, "depth": result.cost.depth},
+        "stopped_early": bool(result.stopped_early),
+    }
+
+
+def _deserialize_result(payload: Dict[str, Any]) -> SparsifyResult:
+    sparsifier_data = payload["sparsifier"]
+    sparsifier = Graph(
+        sparsifier_data["num_vertices"],
+        np.asarray(sparsifier_data["edge_u"], dtype=np.int64),
+        np.asarray(sparsifier_data["edge_v"], dtype=np.int64),
+        np.asarray(sparsifier_data["edge_weights"], dtype=np.float64),
+    )
+    return SparsifyResult(
+        sparsifier=sparsifier,
+        rounds=[RoundRecord(**record) for record in payload["rounds"]],
+        epsilon=payload["epsilon"],
+        rho=payload["rho"],
+        input_edges=payload["input_edges"],
+        output_edges=payload["output_edges"],
+        cost=PRAMCost(work=payload["cost"]["work"], depth=payload["cost"]["depth"]),
+        stopped_early=payload["stopped_early"],
+    )
+
+
+@dataclass(frozen=True)
+class _Header:
+    version: int
+    epsilon: Optional[float]
+    rho: float
+    num_jobs: int
+
+
+class BatchJournal:
+    """Append-only JSON-lines journal of completed batch jobs.
+
+    One journal belongs to one logical batch: the header pins the batch
+    shape (job count and shared ``epsilon`` / ``rho``), and each recorded
+    job pins its input graph by digest.  ``load_completed`` returns the
+    jobs that can be skipped on resume; ``record`` appends a newly
+    finished one.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        epsilon: Optional[float],
+        rho: float,
+        num_jobs: int,
+    ) -> None:
+        self.path = Path(path)
+        self._header = _Header(
+            version=_JOURNAL_VERSION,
+            epsilon=None if epsilon is None else float(epsilon),
+            rho=float(rho),
+            num_jobs=int(num_jobs),
+        )
+
+    def load_completed(self, graphs: List[Graph]) -> Dict[int, SparsifyResult]:
+        """Read the journal and return ``{job index: result}`` for resumable jobs.
+
+        Missing file → empty dict (fresh batch).  A header that does not
+        match this batch's shape, or a job line whose graph digest does
+        not match the graph now submitted at that index, raises
+        :class:`CheckpointError` — the journal belongs to a different
+        batch and silently reusing it would return wrong sparsifiers.
+        A truncated trailing line (crash mid-append) is dropped.
+        """
+        if not self.path.exists():
+            return {}
+        try:
+            lines = self.path.read_text().splitlines()
+        except OSError as exc:
+            raise CheckpointError(f"cannot read checkpoint journal {self.path}: {exc}") from exc
+        if not lines:
+            return {}
+        records: List[Dict[str, Any]] = []
+        for line_number, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                if line_number == len(lines) - 1:
+                    break  # torn trailing append from a crash: drop it
+                raise CheckpointError(
+                    f"checkpoint journal {self.path} is corrupt at line "
+                    f"{line_number + 1}: {exc}"
+                ) from exc
+        if not records:
+            return {}
+        header = records[0]
+        if header.get("kind") != "header":
+            raise CheckpointError(
+                f"checkpoint journal {self.path} has no header line; "
+                "refusing to resume from an unrecognized file"
+            )
+        if header.get("version") != self._header.version:
+            raise CheckpointError(
+                f"checkpoint journal {self.path} has version {header.get('version')}, "
+                f"expected {self._header.version}"
+            )
+        for key in ("epsilon", "rho", "num_jobs"):
+            if header.get(key) != getattr(self._header, key):
+                raise CheckpointError(
+                    f"checkpoint journal {self.path} was written for a different "
+                    f"batch: {key}={header.get(key)!r} vs {getattr(self._header, key)!r}"
+                )
+        completed: Dict[int, SparsifyResult] = {}
+        for record in records[1:]:
+            if record.get("kind") != "job":
+                continue
+            index = int(record["index"])
+            if not 0 <= index < len(graphs):
+                raise CheckpointError(
+                    f"checkpoint journal {self.path} records job {index} but the "
+                    f"batch has {len(graphs)} jobs"
+                )
+            digest = batch_graph_digest(graphs[index])
+            if record.get("graph_digest") != digest:
+                raise CheckpointError(
+                    f"checkpoint journal {self.path}: graph at job {index} does not "
+                    "match the recorded digest — the journal belongs to a different "
+                    "batch (delete it or pass a fresh checkpoint path)"
+                )
+            completed[index] = _deserialize_result(record["result"])
+        return completed
+
+    def record(self, index: int, graph: Graph, result: SparsifyResult) -> None:
+        """Append one completed job (writing the header first if needed)."""
+        line = json.dumps(
+            {
+                "kind": "job",
+                "index": int(index),
+                "graph_digest": batch_graph_digest(graph),
+                "result": _serialize_result(result),
+            }
+        )
+        new_file = not self.path.exists() or self.path.stat().st_size == 0
+        with open(self.path, "a") as handle:
+            if new_file:
+                handle.write(json.dumps({"kind": "header", **vars(self._header)}) + "\n")
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())

@@ -49,9 +49,10 @@ from repro.core.sample import (
     merge_shard_samples,
     sample_nonbundle_edges,
 )
-from repro.exceptions import SparsificationError
+from repro.exceptions import BackendError, SparsificationError
 from repro.graphs.graph import Graph
 from repro.graphs.sharding import GraphShards, shard_edges
+from repro.parallel.failure import FailurePolicy
 from repro.parallel.metrics import DistributedCost, combine_concurrent
 from repro.spanners.distributed_spanner import (
     DistributedBundleResult,
@@ -147,6 +148,7 @@ def _sharded_distributed_sample(
     t: int,
     config: SparsifierConfig,
     rng: RandomState,
+    failure_policy: Optional[FailurePolicy] = None,
 ) -> DistributedSampleResult:
     """Shard-parallel ``PARALLELSAMPLE`` on the distributed simulator."""
     m = simple.num_edges
@@ -162,7 +164,16 @@ def _sharded_distributed_sample(
         streams = split_rng(shard_streams[s], t + 1)
         items.append((s, streams[:t], streams[t]))
     shared = {"graph": simple, "config": config, "t": t, "shards": shards}
-    results = backend.map(_shard_sample_worker, items, shared=shared)
+    # Every shard's output is required to assemble the round, so a policy
+    # may retry a crashed shard (output-neutral: the shard re-runs with its
+    # pre-split stream) but never skip one — "collect" would silently drop
+    # a shard's edges from the sparsifier.
+    if failure_policy is not None and failure_policy.on_error == "collect":
+        raise BackendError(
+            "distributed sharding cannot run with on_error='collect': every "
+            "shard's output is required; use on_error='retry' (or 'raise')"
+        )
+    results = backend.map(_shard_sample_worker, items, shared=shared, policy=failure_policy)
 
     bundle_indices, kept_outside, total_outside = merge_shard_samples(
         results, shards.boundary_edge_indices
@@ -216,6 +227,7 @@ def distributed_parallel_sample(
     epsilon: Optional[float] = None,
     config: Optional[SparsifierConfig] = None,
     seed: SeedLike = None,
+    failure_policy: Optional[FailurePolicy] = None,
 ) -> DistributedSampleResult:
     """Distributed Algorithm 1 on the synchronous simulator.
 
@@ -226,6 +238,11 @@ def distributed_parallel_sample(
     fanned out through ``config``'s execution backend (see the module
     docstring); the default single-shard path preserves the historical
     RNG stream exactly.
+
+    ``failure_policy`` governs transient shard-worker crashes in the
+    sharded fan-out: ``on_error="retry"`` re-runs a crashed shard with its
+    pre-split RNG stream (bit-identical output); ``"collect"`` is rejected
+    because a round cannot be assembled with a shard missing.
     """
     config = config if config is not None else SparsifierConfig()
     eps = config.epsilon if epsilon is None else float(epsilon)
@@ -251,7 +268,9 @@ def distributed_parallel_sample(
         )
 
     if config.num_shards > 1:
-        return _sharded_distributed_sample(simple, eps, t, config, rng)
+        return _sharded_distributed_sample(
+            simple, eps, t, config, rng, failure_policy=failure_policy
+        )
 
     component_seeds = split_rng(rng, t + 1)
     bundle = distributed_bundle_spanner(
@@ -315,12 +334,15 @@ def distributed_parallel_sparsify(
     seed: SeedLike = None,
     stop_on_degenerate: bool = True,
     on_round: Optional[Callable[[int, DistributedSampleResult], None]] = None,
+    failure_policy: Optional[FailurePolicy] = None,
 ) -> DistributedSparsifyResult:
     """Distributed Algorithm 2: iterate distributed ``PARALLELSAMPLE``.
 
     The rounds are inherently sequential (round ``i+1`` consumes round
     ``i``'s output); the parallelism lives inside each round's shard
-    fan-out when ``config.num_shards > 1``.
+    fan-out when ``config.num_shards > 1``.  ``failure_policy`` is passed
+    to every round's shard fan-out (``"collect"`` rejected — see
+    :func:`distributed_parallel_sample`).
 
     ``on_round`` is an optional progress callback invoked as
     ``on_round(round_index, result)`` (1-based index) the moment each
@@ -345,7 +367,8 @@ def distributed_parallel_sparsify(
 
     for i in range(num_rounds):
         result = distributed_parallel_sample(
-            current, epsilon=per_round_eps, config=config, seed=round_rngs[i]
+            current, epsilon=per_round_eps, config=config, seed=round_rngs[i],
+            failure_policy=failure_policy,
         )
         rounds.append(result)
         if on_round is not None:

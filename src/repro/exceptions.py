@@ -26,12 +26,25 @@ class NotSDDError(ReproError):
 
 
 class ConvergenceError(ReproError):
-    """An iterative solver failed to reach the requested tolerance."""
+    """An iterative solver failed to reach the requested tolerance.
 
-    def __init__(self, message: str, iterations: int | None = None, residual: float | None = None):
+    ``failures`` optionally carries the per-column
+    :class:`repro.linalg.cg.ColumnFailure` records of a blocked solve, so
+    callers catching the error can see *which* right-hand sides failed and
+    how (status, iterations, final residual) instead of only the worst one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        iterations: int | None = None,
+        residual: float | None = None,
+        failures: list | None = None,
+    ):
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual
+        self.failures = failures if failures is not None else []
 
 
 class SparsificationError(ReproError):
@@ -44,6 +57,23 @@ class SimulationError(ReproError):
 
 class BackendError(ReproError):
     """An execution backend was misconfigured or could not be resolved."""
+
+
+class WorkerTimeoutError(BackendError):
+    """A work item exceeded the failure policy's per-item soft timeout.
+
+    "Soft": the item's computation is not killed (threads cannot be), but
+    its result is discarded and the attempt is treated as failed, so the
+    retry/collect machinery sees timeouts exactly like crashes.
+    """
+
+
+class CheckpointError(BackendError):
+    """A batch checkpoint journal is unreadable or inconsistent with the batch."""
+
+
+class FaultInjectionError(ReproError):
+    """Deterministic failure raised by :mod:`repro.testing.faults` injectors."""
 
 
 class MethodError(ReproError):

@@ -84,8 +84,21 @@ class Graph:
                 )
             if np.any(u_arr == v_arr):
                 raise GraphError("self loops are not allowed")
-            if np.any(~np.isfinite(w_arr)) or np.any(w_arr <= 0):
-                raise GraphError("edge weights must be positive and finite")
+            not_finite = ~np.isfinite(w_arr)
+            if np.any(not_finite):
+                bad = np.flatnonzero(not_finite)
+                raise GraphError(
+                    f"edge weights must be finite: {bad.size} NaN/Inf entries "
+                    f"(first at edge indices {bad[:8].tolist()}) — reject or "
+                    "clean upstream data before constructing a Graph"
+                )
+            not_positive = w_arr <= 0
+            if np.any(not_positive):
+                bad = np.flatnonzero(not_positive)
+                raise GraphError(
+                    f"edge weights must be positive: {bad.size} entries <= 0 "
+                    f"(first at edge indices {bad[:8].tolist()})"
+                )
         # Normalise orientation so that u < v for every edge.
         lo = np.minimum(u_arr, v_arr)
         hi = np.maximum(u_arr, v_arr)

@@ -60,6 +60,11 @@ from repro.parallel.backends import (
     register_backend,
     set_default_backend,
 )
+from repro.parallel.failure import (
+    FailurePolicy,
+    FailureRecord,
+    MapOutcome,
+)
 from repro.parallel.scheduler import ParallelExecutor
 
 __all__ = [
@@ -85,5 +90,8 @@ __all__ = [
     "get_backend",
     "register_backend",
     "set_default_backend",
+    "FailurePolicy",
+    "FailureRecord",
+    "MapOutcome",
     "ParallelExecutor",
 ]

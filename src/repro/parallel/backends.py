@@ -22,8 +22,20 @@ Design invariants
    bit-identical results on every backend and every worker count.
 2. **Results are ordered.**  ``map`` returns results in input order no
    matter how items were scheduled.
-3. **Fail fast.**  The first exception re-raises in the caller and all
-   not-yet-started items are cancelled.
+3. **Fail fast by default.**  Without a policy, the first exception
+   re-raises in the caller and all not-yet-started items are cancelled.
+   A :class:`~repro.parallel.failure.FailurePolicy` relaxes this per
+   call: ``on_error="retry"`` re-runs crashing items (with deterministic
+   seeded backoff) before failing fast, and ``on_error="collect"``
+   records :class:`~repro.parallel.failure.FailureRecord` objects and
+   finishes the surviving items.  The retry loop runs *inside* the
+   worker (:class:`repro.parallel.failure._PolicyCall`), so all three
+   backends implement identical semantics from the same code.
+
+Subclasses implement the raw execution primitive :meth:`_map`; the
+policy-aware :meth:`map` / :meth:`map_outcomes` layer on the base class
+wraps it and is shared by every backend (including registered custom
+ones).
 
 A module-level registry maps backend names to classes; algorithms resolve
 :class:`repro.core.config.SparsifierConfig` fields through
@@ -40,6 +52,12 @@ from abc import ABC, abstractmethod
 from typing import Any, Callable, ClassVar, Dict, List, Optional, Sequence, Type, TypeVar, Union
 
 from repro.exceptions import BackendError
+from repro.parallel.failure import (
+    FailurePolicy,
+    MapOutcome,
+    _PolicyCall,
+    collect_outcomes,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -92,12 +110,27 @@ class ExecutionBackend(ABC):
         return _available_cpus()
 
     @abstractmethod
-    def map(
+    def _map(
         self,
         func: Callable[..., R],
         items: Sequence[T],
         shared: Any = None,
     ) -> List[R]:
+        """Raw fail-fast execution primitive each backend implements.
+
+        Applies ``func`` to every item (``func(item, shared)`` when a
+        shared payload is given), returns results in input order, and on
+        the first exception cancels all not-yet-started items and
+        re-raises in the caller.
+        """
+
+    def map(
+        self,
+        func: Callable[..., R],
+        items: Sequence[T],
+        shared: Any = None,
+        policy: Optional[FailurePolicy] = None,
+    ) -> List[Any]:
         """Apply ``func`` to every item, returning results in input order.
 
         With ``shared`` given, ``func(item, shared)`` is called instead of
@@ -105,9 +138,37 @@ class ExecutionBackend(ABC):
         once rather than once per task, so callers should place the bulky
         read-only payload (edge arrays, configs) there.
 
-        The first exception cancels all not-yet-started items and
-        re-raises in the caller.
+        Without a ``policy`` (or with a pure fail-fast one) the first
+        exception cancels all not-yet-started items and re-raises in the
+        caller — the historical contract, on the zero-overhead code path.
+        With a :class:`~repro.parallel.failure.FailurePolicy`, items are
+        retried / collected per the policy; under ``on_error="collect"``
+        the returned list holds ``None`` in failed slots (use
+        :meth:`map_outcomes` to also get the failure records).
         """
+        if policy is None or policy.is_fail_fast:
+            return self._map(func, items, shared)
+        return self.map_outcomes(func, items, shared=shared, policy=policy).values
+
+    def map_outcomes(
+        self,
+        func: Callable[..., R],
+        items: Sequence[T],
+        shared: Any = None,
+        policy: Optional[FailurePolicy] = None,
+    ) -> MapOutcome:
+        """Policy-governed fan-out returning values *and* failure records.
+
+        The full attempt loop of each item runs inside the worker that
+        owns it, so retry/collect semantics are identical on every
+        backend.  Under ``on_error="raise"`` / ``"retry"`` an exhausted
+        item re-raises in the caller with pending items cancelled, exactly
+        like :meth:`map`.
+        """
+        policy = policy if policy is not None else FailurePolicy()
+        indexed = list(enumerate(items))
+        raw = self._map(_PolicyCall(func, policy), indexed, shared)
+        return collect_outcomes(raw)
 
     def starmap(self, func: Callable[..., R], argument_tuples: Sequence[tuple]) -> List[R]:
         """Apply ``func(*args)`` to every argument tuple, preserving order."""
@@ -143,7 +204,7 @@ class SerialBackend(ExecutionBackend):
     def _default_max_workers(self) -> int:
         return 1
 
-    def map(self, func: Callable[..., R], items: Sequence[T], shared: Any = None) -> List[R]:
+    def _map(self, func: Callable[..., R], items: Sequence[T], shared: Any = None) -> List[R]:
         if shared is None:
             return [func(item) for item in items]
         return [func(item, shared) for item in items]
@@ -164,7 +225,7 @@ class ThreadBackend(ExecutionBackend):
 
     name: ClassVar[str] = "thread"
 
-    def map(self, func: Callable[..., R], items: Sequence[T], shared: Any = None) -> List[R]:
+    def _map(self, func: Callable[..., R], items: Sequence[T], shared: Any = None) -> List[R]:
         items = list(items)
         if not items:
             return []
@@ -220,7 +281,7 @@ class ProcessBackend(ExecutionBackend):
 
     name: ClassVar[str] = "process"
 
-    def map(self, func: Callable[..., R], items: Sequence[T], shared: Any = None) -> List[R]:
+    def _map(self, func: Callable[..., R], items: Sequence[T], shared: Any = None) -> List[R]:
         items = list(items)
         if not items:
             return []

@@ -21,10 +21,13 @@ from repro.resistance.exact import (
     leverage_scores,
 )
 from repro.resistance.solver_select import (
+    DENSE_FALLBACK_LIMIT,
     SOLVER_CHOICES,
+    FallbackEvent,
     ResistanceSolveStats,
     chain_preconditioner_for,
     resolve_solver,
+    solve_with_degradation,
 )
 from repro.resistance.approx import (
     ApproxResistanceResult,
@@ -47,9 +50,12 @@ __all__ = [
     "effective_resistances_of_pairs",
     "leverage_scores",
     "SOLVER_CHOICES",
+    "DENSE_FALLBACK_LIMIT",
+    "FallbackEvent",
     "ResistanceSolveStats",
     "chain_preconditioner_for",
     "resolve_solver",
+    "solve_with_degradation",
     "ApproxResistanceResult",
     "approximate_effective_resistances",
     "approximate_effective_resistances_detailed",

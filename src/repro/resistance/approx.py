@@ -23,17 +23,17 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import Graph
-from repro.linalg.cg import laplacian_solve_many
 from repro.resistance.solver_select import (
+    FallbackEvent,
     ResistanceSolveStats,
-    chain_preconditioner_for,
     resolve_solver,
+    solve_with_degradation,
 )
 from repro.utils.rng import SeedLike, as_rng, split_rng
 
@@ -82,6 +82,10 @@ class ApproxResistanceResult:
         Total CG iterations summed over every solve column.
     precond_applications:
         Total column preconditioner applications (0 on the plain path).
+    fallbacks:
+        :class:`~repro.resistance.solver_select.FallbackEvent` records for
+        every degradation-ladder rung the inner solves took (empty on the
+        happy path) — a sketch built on a degraded solve says so.
     """
 
     resistances: np.ndarray
@@ -94,6 +98,12 @@ class ApproxResistanceResult:
     solver: str = "cg"
     iterations_total: int = 0
     precond_applications: int = 0
+    fallbacks: Tuple[FallbackEvent, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """True when any inner solve fell down the degradation ladder."""
+        return bool(self.fallbacks)
 
 
 def _effective_delta(num_vertices: int, num_directions: int) -> float:
@@ -194,12 +204,12 @@ def approximate_effective_resistances_detailed(
     direction_rngs = split_rng(rng, num_directions)
 
     resolved = resolve_solver(solver, graph, num_directions)
-    preconditioner = None
-    precond_work = 0.0
-    if resolved == "chain":
-        preconditioner, precond_work = chain_preconditioner_for(graph, stats=stats)
-    if stats is not None:
-        stats.solver = resolved
+    # The degradation ladder reports its rungs on a stats accumulator; run
+    # one locally when the caller passed none so fallbacks still reach the
+    # result's ``fallbacks`` field.
+    ladder_stats = stats if stats is not None else ResistanceSolveStats()
+    fallbacks_before = len(ladder_stats.fallbacks)
+    ladder_stats.solver = resolved
 
     scale = 1.0 / np.sqrt(num_directions)
     resistance_estimate = np.zeros(m)
@@ -217,16 +227,15 @@ def approximate_effective_resistances_detailed(
         np.subtract(signs, 1, out=signs)
         # y_j = B^T W^{1/2} q_j for each direction j in the chunk.
         rhs = incidence @ (signs.T * scale)
-        solve = laplacian_solve_many(
+        solve = solve_with_degradation(
+            graph,
             lap,
             rhs,
             tol=solver_tol,
             block_size=block_size,
-            preconditioner=preconditioner,
-            precond_work_per_application=precond_work,
+            solver=resolved,
+            stats=ladder_stats,
         )
-        if stats is not None:
-            stats.record(solve)
         diff = solve.x[u, :] - solve.x[v, :]
         resistance_estimate += np.einsum("ij,ij->i", diff, diff)
         matvecs += solve.matvecs
@@ -245,6 +254,7 @@ def approximate_effective_resistances_detailed(
         solver=resolved,
         iterations_total=iterations_total,
         precond_applications=precond_applications,
+        fallbacks=tuple(ladder_stats.fallbacks[fallbacks_before:]),
     )
 
 

@@ -34,12 +34,11 @@ import scipy.sparse as sp
 from repro.exceptions import DisconnectedGraphError, GraphError
 from repro.graphs.connectivity import connected_components
 from repro.graphs.graph import Graph
-from repro.linalg.cg import laplacian_solve_many
 from repro.linalg.pseudoinverse import laplacian_pseudoinverse
 from repro.resistance.solver_select import (
     ResistanceSolveStats,
-    chain_preconditioner_for,
     resolve_solver,
+    solve_with_degradation,
 )
 
 __all__ = [
@@ -166,10 +165,6 @@ def _blocked_pair_resistances(
     # Resolve the solver once per (sub)graph against the *total* column
     # count — the chain build amortizes across all chunks via the cache.
     resolved = resolve_solver(solver, graph, vertices.size if use_vertex_columns else k)
-    preconditioner = None
-    precond_work = 0.0
-    if resolved == "chain":
-        preconditioner, precond_work = chain_preconditioner_for(graph, stats=stats)
     if stats is not None:
         stats.solver = resolved
     if use_vertex_columns:
@@ -179,16 +174,15 @@ def _blocked_pair_resistances(
             (np.ones(vertices.size), (vertices, np.arange(vertices.size))),
             shape=(n, vertices.size),
         )
-        solve = laplacian_solve_many(
+        solve = solve_with_degradation(
+            graph,
             lap,
             rhs,
             tol=tol,
             block_size=block_size,
-            preconditioner=preconditioner,
-            precond_work_per_application=precond_work,
+            solver=resolved,
+            stats=stats,
         )
-        if stats is not None:
-            stats.record(solve)
         _warn_if_unconverged(solve, tol, "vertex-indicator columns")
         # Columns of the solve block are L^+ e_v; R_uv reads off four entries.
         x = solve.x
@@ -208,16 +202,15 @@ def _blocked_pair_resistances(
             ),
             shape=(n, width),
         )
-        solve = laplacian_solve_many(
+        solve = solve_with_degradation(
+            graph,
             lap,
             rhs,
             tol=tol,
             block_size=block_size,
-            preconditioner=preconditioner,
-            precond_work_per_application=precond_work,
+            solver=resolved,
+            stats=stats,
         )
-        if stats is not None:
-            stats.record(solve)
         _warn_if_unconverged(solve, tol, f"pair-indicator columns {start}:{stop}")
         results[start:stop] = solve.x[chunk_lo, arange] - solve.x[chunk_hi, arange]
     return results

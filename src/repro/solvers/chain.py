@@ -28,6 +28,7 @@ DESIGN.md:
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
@@ -495,6 +496,15 @@ class ChainCache:
     ``builds`` counts chain constructions over the cache's lifetime and is
     asserted on in tests: repeated certification of the same graph must
     not increment it.
+
+    The cache is thread-safe: the LRU structure and the ``builds``/``hits``
+    counters are guarded by a lock (thread-backend batches certify graphs
+    concurrently, and an unguarded ``OrderedDict`` corrupts under
+    concurrent ``move_to_end``/``popitem``).  Chain *construction* runs
+    outside the lock — builds are seconds-long and must not serialize —
+    so two threads missing on the same key may both build; the duplicate
+    build is discarded in favor of the first entry, costing only time,
+    never a wrong chain (builds for the same key are deterministic).
     """
 
     def __init__(self, max_entries: int = 16):
@@ -502,15 +512,18 @@ class ChainCache:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
         self.max_entries = int(max_entries)
         self._entries: "OrderedDict[tuple, InverseChain]" = OrderedDict()
+        self._lock = threading.Lock()
         self.builds = 0
         self.hits = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         """Drop all cached chains (the lifetime counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def chain_for(
         self,
@@ -531,19 +544,29 @@ class ChainCache:
             )
         effective_rho = float(_PRECOND_RHO if rho is None else rho)
         key = (graph_fingerprint(graph), effective_rho, int(seed))
-        chain = self._entries.get(key)
-        if chain is not None:
-            self.hits += 1
-            self._entries.move_to_end(key)
-            return chain
-        chain = build_preconditioner_chain(
+        with self._lock:
+            chain = self._entries.get(key)
+            if chain is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return chain
+        built = build_preconditioner_chain(
             graph, rho=effective_rho, seed=int(seed), config=config
         )
-        self.builds += 1
-        self._entries[key] = chain
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        return chain
+        with self._lock:
+            self.builds += 1
+            existing = self._entries.get(key)
+            if existing is not None:
+                # Lost a build race: keep the first entry (deterministic
+                # builds make them interchangeable; keeping the winner
+                # preserves identity for callers already holding it).
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return existing
+            self._entries[key] = built
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+        return built
 
 
 _DEFAULT_CHAIN_CACHE = ChainCache()

@@ -1,0 +1,22 @@
+"""Deterministic fault-injection utilities for resilience testing.
+
+See :mod:`repro.testing.faults`.  This subpackage is part of the library
+(not the test suite) so downstream deployments can rehearse their own
+failure handling with the same injectors the repo's tests use.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    InjectingBackend,
+    NaNPoisonedOperator,
+    cache_eviction_storm,
+    nan_poisoned_preconditioner,
+)
+
+__all__ = [
+    "FaultPlan",
+    "InjectingBackend",
+    "NaNPoisonedOperator",
+    "cache_eviction_storm",
+    "nan_poisoned_preconditioner",
+]

@@ -1,0 +1,279 @@
+"""Deterministic, seed-free fault injectors for the resilience layer.
+
+Every retry / degradation path in the package is exercised by tests
+rather than trusted on faith; this module provides the machinery those
+tests (and downstream game-day rehearsals) drive:
+
+* :class:`FaultPlan` — a declarative description of which item crashes,
+  on which attempts, and which item runs slow.  Plans are plain frozen
+  data, picklable, and their behavior is a pure function of
+  ``(item index, attempt number)`` — no hidden state, so the same plan
+  produces the same faults on the serial, thread, and process backends.
+* :class:`InjectingBackend` — an execution backend wrapping any inner
+  backend and applying a plan's faults *underneath* the failure-policy
+  retry loop (crash on attempt 1, succeed on attempt 2).  Registered in
+  the backend registry as ``"injecting"`` so it is reachable through
+  every ``backend=`` knob in the package.
+* :class:`NaNPoisonedOperator` / :func:`nan_poisoned_preconditioner` —
+  matvec/preconditioner wrappers that start emitting NaNs after a set
+  number of applications, for driving the solver tier's non-finite
+  detection and the chain → cg degradation ladder.
+* :func:`cache_eviction_storm` — concurrent get/build/clear hammering of
+  a :class:`repro.solvers.chain.ChainCache`, for the thread-safety test.
+
+The injectors use the *attempt-aware callable* protocol of
+:mod:`repro.parallel.failure` (``__repro_attempt_aware__``): the policy
+machinery passes ``index=`` / ``attempt=`` down, which is what lets a
+fault be transient rather than permanent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import FaultInjectionError
+from repro.parallel.backends import ExecutionBackend, get_backend, register_backend
+from repro.parallel.failure import ATTEMPT_AWARE_ATTR, FailurePolicy, MapOutcome
+
+__all__ = [
+    "FaultPlan",
+    "InjectingBackend",
+    "NaNPoisonedOperator",
+    "nan_poisoned_preconditioner",
+    "cache_eviction_storm",
+    "set_default_fault_plan",
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault schedule for one backend fan-out.
+
+    Attributes
+    ----------
+    crash_index:
+        Item index whose execution raises
+        :class:`~repro.exceptions.FaultInjectionError` (``None`` = no
+        crash).
+    crash_attempts:
+        The crash fires on attempts ``1..crash_attempts`` of that item
+        and the item succeeds from attempt ``crash_attempts + 1`` on —
+        so a plan with ``crash_attempts=1`` under ``max_attempts>=2``
+        exercises exactly one retry.  Use a value ``>= max_attempts`` for
+        a permanent failure.
+    slow_index:
+        Item index that sleeps ``delay`` seconds before running
+        (``None`` = nobody is slow); drives soft-timeout handling.
+    delay:
+        Sleep in seconds for ``slow_index``.
+    message:
+        Text of the injected exception (part of the deterministic
+        failure identity tests compare across backends).
+    """
+
+    crash_index: Optional[int] = None
+    crash_attempts: int = 1
+    slow_index: Optional[int] = None
+    delay: float = 0.0
+    message: str = "injected worker crash"
+
+    def wrap(self, func: Callable[..., Any]) -> "_FaultyCall":
+        """Wrap ``func`` so this plan's faults fire around it."""
+        return _FaultyCall(func, self)
+
+
+class _FaultyCall:
+    """Picklable attempt-aware wrapper applying a :class:`FaultPlan`.
+
+    The wrapped function keeps its own calling convention
+    (``func(item)`` / ``func(item, shared)``); the plan only consumes the
+    ``index`` / ``attempt`` keywords injected by the policy machinery.
+    """
+
+    def __init__(self, func: Callable[..., Any], plan: FaultPlan) -> None:
+        self.func = func
+        self.plan = plan
+        self.inner_attempt_aware = bool(getattr(func, ATTEMPT_AWARE_ATTR, False))
+
+    # Mark for repro.parallel.failure._PolicyCall: give us index/attempt.
+    __repro_attempt_aware__ = True
+
+    def __call__(self, *args: Any, index: int = 0, attempt: int = 1) -> Any:
+        plan = self.plan
+        if plan.slow_index is not None and index == plan.slow_index and plan.delay > 0.0:
+            time.sleep(plan.delay)
+        if plan.crash_index is not None and index == plan.crash_index and attempt <= plan.crash_attempts:
+            raise FaultInjectionError(f"{plan.message} (item {index}, attempt {attempt})")
+        if self.inner_attempt_aware:
+            return self.func(*args, index=index, attempt=attempt)
+        return self.func(*args)
+
+
+# Plan used by InjectingBackend instances constructed through the registry
+# (get_backend("injecting") cannot pass constructor arguments).
+_DEFAULT_PLAN = FaultPlan()
+_PLAN_LOCK = threading.Lock()
+
+
+def set_default_fault_plan(plan: FaultPlan) -> FaultPlan:
+    """Set the plan registry-constructed ``"injecting"`` backends use.
+
+    Returns the previous plan so tests can restore it::
+
+        previous = set_default_fault_plan(FaultPlan(crash_index=2))
+        try:
+            ...
+        finally:
+            set_default_fault_plan(previous)
+    """
+    global _DEFAULT_PLAN
+    with _PLAN_LOCK:
+        previous, _DEFAULT_PLAN = _DEFAULT_PLAN, plan
+    return previous
+
+
+@register_backend
+class InjectingBackend(ExecutionBackend):
+    """Backend wrapper injecting a :class:`FaultPlan` under the retry loop.
+
+    Delegates actual execution to an ``inner`` backend (default serial),
+    wrapping the mapped function so the plan's faults fire inside the
+    worker — *underneath* any :class:`~repro.parallel.failure.FailurePolicy`
+    attempt loop, which is the point: a transient crash on attempt 1 is
+    retried by the policy and succeeds on attempt 2, exercising the real
+    recovery path on whichever backend ``inner`` names.
+
+    Plain :meth:`map` calls (no policy) still route through the policy
+    machinery with a fail-fast policy so the wrapper receives item
+    indices; semantics are unchanged (first failure cancels and
+    re-raises).
+    """
+
+    name = "injecting"
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        inner: Any = "serial",
+        plan: Optional[FaultPlan] = None,
+    ) -> None:
+        self.inner = get_backend(inner, max_workers)
+        with _PLAN_LOCK:
+            self.plan = plan if plan is not None else _DEFAULT_PLAN
+        super().__init__(self.inner.max_workers)
+
+    def _map(self, func: Callable[..., Any], items: Sequence[Any], shared: Any = None) -> List[Any]:
+        return self.inner._map(func, items, shared)
+
+    def map(
+        self,
+        func: Callable[..., Any],
+        items: Sequence[Any],
+        shared: Any = None,
+        policy: Optional[FailurePolicy] = None,
+    ) -> List[Any]:
+        outcome = self.map_outcomes(func, items, shared=shared, policy=policy)
+        return outcome.values
+
+    def map_outcomes(
+        self,
+        func: Callable[..., Any],
+        items: Sequence[Any],
+        shared: Any = None,
+        policy: Optional[FailurePolicy] = None,
+    ) -> MapOutcome:
+        return self.inner.map_outcomes(
+            self.plan.wrap(func), items, shared=shared, policy=policy
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InjectingBackend(inner={self.inner!r}, plan={self.plan!r})"
+        )
+
+
+class NaNPoisonedOperator:
+    """Wrap a block operator (matvec / preconditioner) to emit NaNs.
+
+    The first ``healthy_applications`` calls pass through unchanged; from
+    the next call on, the output is all-NaN with the input's shape.  Used
+    to drive the solver tier's non-finite detection (``SolveStatus``) and
+    the chain → cg degradation ladder without constructing a genuinely
+    broken chain.
+
+    The wrapper is stateful (an application counter) and therefore meant
+    for in-process solver paths, not for crossing process boundaries.
+    """
+
+    def __init__(self, inner: Callable[[np.ndarray], np.ndarray], healthy_applications: int = 0):
+        self.inner = inner
+        self.healthy_applications = int(healthy_applications)
+        self.calls = 0
+
+    def __call__(self, block: np.ndarray) -> np.ndarray:
+        self.calls += 1
+        if self.calls > self.healthy_applications:
+            return np.full_like(np.asarray(block, dtype=float), np.nan)
+        return np.asarray(self.inner(block), dtype=float)
+
+
+def nan_poisoned_preconditioner(
+    preconditioner: Callable[[np.ndarray], np.ndarray],
+    work_per_application: float,
+    healthy_applications: int = 0,
+):
+    """Poisoned drop-in for ``chain_preconditioner_for(...)``'s return value.
+
+    Returns ``(NaNPoisonedOperator(preconditioner), work_per_application)``
+    — the shape the resistance layer expects — so a test can monkeypatch
+    ``chain_preconditioner_for`` and watch the degradation ladder catch
+    the breakdown.
+    """
+    return (
+        NaNPoisonedOperator(preconditioner, healthy_applications=healthy_applications),
+        work_per_application,
+    )
+
+
+def cache_eviction_storm(
+    cache: Any,
+    graphs: Sequence[Any],
+    num_threads: int = 4,
+    rounds: int = 8,
+    clear_every: int = 3,
+) -> List[BaseException]:
+    """Hammer a :class:`repro.solvers.chain.ChainCache` from many threads.
+
+    Each thread cycles through ``graphs`` requesting chains while
+    periodically clearing the cache (the eviction storm), which is the
+    access pattern that corrupts an unlocked LRU.  Returns the list of
+    exceptions raised inside worker threads (empty for a healthy cache);
+    counter-consistency assertions are the caller's job.
+    """
+    errors: List[BaseException] = []
+    errors_lock = threading.Lock()
+    start_barrier = threading.Barrier(num_threads)
+
+    def worker(worker_id: int) -> None:
+        try:
+            start_barrier.wait(timeout=10)
+            for round_index in range(rounds):
+                graph = graphs[(worker_id + round_index) % len(graphs)]
+                cache.chain_for(graph, seed=0)
+                if (worker_id + round_index) % clear_every == 0:
+                    cache.clear()
+        except BaseException as exc:  # noqa: BLE001 - test harness must surface everything
+            with errors_lock:
+                errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    return errors

@@ -1,0 +1,382 @@
+"""Resilience-layer tests: failure policies, checkpoints, solver statuses.
+
+Covers the policy vocabulary (`repro.parallel.failure`), the checkpoint
+journal behind ``sparsify_many(checkpoint=...)``, the blocked solver's
+per-column :class:`SolveStatus` detection, and the input-validation
+hardening (non-finite edge weights / right-hand sides).  The end-to-end
+fault-injection scenarios live in ``test_faults.py`` (``-m faults``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.batch import sparsify_many
+from repro.core.checkpoint import BatchJournal, batch_graph_digest
+from repro.core.config import SparsifierConfig
+from repro.core.distributed_sparsify import distributed_parallel_sample
+from repro.exceptions import (
+    BackendError,
+    CheckpointError,
+    ConvergenceError,
+    GraphError,
+)
+from repro.graphs import generators
+from repro.graphs.graph import Graph
+from repro.linalg.cg import SolveStatus, laplacian_solve_many
+from repro.parallel.backends import get_backend
+from repro.parallel.failure import FailurePolicy, FailureRecord, backoff_delay
+from repro.testing.faults import NaNPoisonedOperator
+
+
+def _identity(x):
+    return x
+
+
+def _always_boom(x):
+    raise ValueError(f"permanent failure on {x}")
+
+
+def _flaky(x, index=0, attempt=1):
+    """Attempt-aware item: fails on attempt 1, succeeds from attempt 2."""
+    if attempt == 1:
+        raise ValueError(f"transient failure on item {index}")
+    return x * 10
+
+
+_flaky.__repro_attempt_aware__ = True
+
+
+def _slow(x):
+    import time
+
+    time.sleep(0.05)
+    return x
+
+
+FAST_RETRY = dict(backoff_base=0.0, jitter=0.0)
+
+
+class TestFailurePolicyValidation:
+    def test_default_is_fail_fast(self):
+        policy = FailurePolicy()
+        assert policy.is_fail_fast
+
+    def test_retry_policy_is_not_fail_fast(self):
+        assert not FailurePolicy(on_error="retry", max_attempts=2).is_fail_fast
+
+    def test_timeout_disables_fail_fast_shortcut(self):
+        assert not FailurePolicy(on_error="raise", timeout=1.0).is_fail_fast
+
+    def test_unknown_on_error_rejected(self):
+        with pytest.raises(BackendError, match="on_error"):
+            FailurePolicy(on_error="ignore")
+
+    def test_zero_attempts_rejected(self):
+        with pytest.raises(BackendError, match="max_attempts"):
+            FailurePolicy(on_error="retry", max_attempts=0)
+
+    def test_raise_cannot_retry(self):
+        with pytest.raises(BackendError, match="fail-fast"):
+            FailurePolicy(on_error="raise", max_attempts=3)
+
+    def test_bad_backoff_rejected(self):
+        with pytest.raises(BackendError, match="backoff"):
+            FailurePolicy(on_error="retry", max_attempts=2, backoff_factor=0.5)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(BackendError, match="jitter"):
+            FailurePolicy(on_error="retry", max_attempts=2, jitter=-0.1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(BackendError, match="timeout"):
+            FailurePolicy(timeout=0.0)
+
+
+class TestBackoffDeterminism:
+    def test_first_attempt_never_waits(self):
+        policy = FailurePolicy(on_error="retry", max_attempts=5)
+        assert backoff_delay(policy, index=3, attempt=1) == 0.0
+
+    def test_same_inputs_same_delay(self):
+        policy = FailurePolicy(on_error="retry", max_attempts=5, seed=11)
+        delays = [backoff_delay(policy, index=2, attempt=3) for _ in range(4)]
+        assert len(set(delays)) == 1
+
+    def test_zero_jitter_is_exact_exponential(self):
+        policy = FailurePolicy(
+            on_error="retry", max_attempts=6,
+            backoff_base=0.1, backoff_factor=2.0, backoff_max=100.0, jitter=0.0,
+        )
+        assert backoff_delay(policy, 0, 2) == pytest.approx(0.1)
+        assert backoff_delay(policy, 0, 3) == pytest.approx(0.2)
+        assert backoff_delay(policy, 0, 4) == pytest.approx(0.4)
+
+    def test_backoff_cap_applies(self):
+        policy = FailurePolicy(
+            on_error="retry", max_attempts=20,
+            backoff_base=1.0, backoff_factor=10.0, backoff_max=2.5, jitter=0.0,
+        )
+        assert backoff_delay(policy, 0, 10) == pytest.approx(2.5)
+
+    def test_jitter_bounded_and_index_dependent(self):
+        policy = FailurePolicy(
+            on_error="retry", max_attempts=5,
+            backoff_base=0.1, backoff_factor=1.0, jitter=0.5, seed=0,
+        )
+        d1 = backoff_delay(policy, index=1, attempt=2)
+        d2 = backoff_delay(policy, index=2, attempt=2)
+        for d in (d1, d2):
+            assert 0.1 <= d <= 0.1 * 1.5
+        assert d1 != d2
+
+
+class TestMapOutcomes:
+    def test_retry_recovers_transient_failures(self):
+        backend = get_backend("serial")
+        policy = FailurePolicy(on_error="retry", max_attempts=2, **FAST_RETRY)
+        outcome = backend.map_outcomes(_flaky, [0, 1, 2], policy=policy)
+        assert outcome.values == [0, 10, 20]
+        assert outcome.attempts == [2, 2, 2]
+        assert outcome.all_succeeded
+
+    def test_retry_exhausted_raises_last_error(self):
+        backend = get_backend("serial")
+        policy = FailurePolicy(on_error="retry", max_attempts=2, **FAST_RETRY)
+        with pytest.raises(ValueError, match="permanent failure"):
+            backend.map_outcomes(_always_boom, [0, 1], policy=policy)
+
+    def test_collect_records_failures_and_continues(self):
+        backend = get_backend("serial")
+        policy = FailurePolicy(on_error="collect", max_attempts=2, **FAST_RETRY)
+        outcome = backend.map_outcomes(_always_boom, [7, 8], policy=policy)
+        assert outcome.values == [None, None]
+        assert outcome.num_failed == 2
+        assert not outcome.all_succeeded
+        record = outcome.failures[0]
+        assert isinstance(record, FailureRecord)
+        assert record.describe() == (0, "ValueError", "permanent failure on 7", 2)
+        assert record.elapsed >= 0.0
+        assert record.to_dict()["error_type"] == "ValueError"
+
+    def test_collect_mixed_success_and_failure(self):
+        backend = get_backend("serial")
+        policy = FailurePolicy(on_error="collect", max_attempts=1)
+        outcome = backend.map_outcomes(
+            lambda x: x * 2 if x != 1 else (_ for _ in ()).throw(RuntimeError("no")),
+            [0, 1, 2],
+            policy=policy,
+        )
+        assert outcome.values == [0, None, 4]
+        assert [r.index for r in outcome.failures] == [1]
+        assert outcome.successful_values() == [0, 4]
+
+    def test_soft_timeout_counts_as_failure(self):
+        backend = get_backend("serial")
+        policy = FailurePolicy(
+            on_error="collect", max_attempts=1, timeout=0.005, **FAST_RETRY
+        )
+        outcome = backend.map_outcomes(_slow, [0], policy=policy)
+        # The sleep is 10x the soft timeout: the attempt must be discarded.
+        assert outcome.values == [None]
+        assert outcome.num_failed == 1
+        assert outcome.failures[0].error_type == "WorkerTimeoutError"
+
+    def test_map_with_policy_returns_values_only(self):
+        backend = get_backend("serial")
+        policy = FailurePolicy(on_error="collect", max_attempts=1)
+        values = backend.map(_identity, [1, 2, 3], policy=policy)
+        assert values == [1, 2, 3]
+
+
+class TestCheckpointJournal:
+    @pytest.fixture()
+    def graphs(self):
+        return [
+            generators.erdos_renyi_graph(30, 0.3, seed=i, ensure_connected=True)
+            for i in range(3)
+        ]
+
+    def _edges(self, result):
+        g = result.sparsifier
+        return (g.edge_u.tolist(), g.edge_v.tolist(), g.edge_weights.tolist())
+
+    def test_resume_skips_completed_jobs_bit_identically(self, graphs, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        first = sparsify_many(graphs, epsilon=0.5, seed=7, checkpoint=journal)
+        assert first.resumed_jobs == 0
+        second = sparsify_many(graphs, epsilon=0.5, seed=7, checkpoint=journal)
+        assert second.resumed_jobs == len(graphs)
+        for a, b in zip(first.results, second.results):
+            assert self._edges(a) == self._edges(b)
+
+    def test_partial_journal_resumes_prefix(self, graphs, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        full = sparsify_many(graphs, epsilon=0.5, seed=7, checkpoint=journal)
+        lines = journal.read_text().splitlines()
+        journal.write_text("\n".join(lines[:2]) + "\n")  # header + job 0
+        resumed = sparsify_many(graphs, epsilon=0.5, seed=7, checkpoint=journal)
+        assert resumed.resumed_jobs == 1
+        for a, b in zip(full.results, resumed.results):
+            assert self._edges(a) == self._edges(b)
+
+    def test_torn_trailing_line_is_dropped(self, graphs, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        sparsify_many(graphs, epsilon=0.5, seed=7, checkpoint=journal)
+        with open(journal, "a") as handle:
+            handle.write('{"kind": "job", "index": 2, "resu')  # crash mid-append
+        resumed = sparsify_many(graphs, epsilon=0.5, seed=7, checkpoint=journal)
+        assert resumed.resumed_jobs == len(graphs)
+
+    def test_digest_mismatch_refuses_resume(self, graphs, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        sparsify_many(graphs, epsilon=0.5, seed=7, checkpoint=journal)
+        different = [
+            generators.erdos_renyi_graph(30, 0.3, seed=100 + i, ensure_connected=True)
+            for i in range(3)
+        ]
+        with pytest.raises(CheckpointError, match="digest"):
+            sparsify_many(different, epsilon=0.5, seed=7, checkpoint=journal)
+
+    def test_batch_shape_mismatch_refuses_resume(self, graphs, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        sparsify_many(graphs, epsilon=0.5, seed=7, checkpoint=journal)
+        with pytest.raises(CheckpointError, match="different"):
+            sparsify_many(graphs, epsilon=0.25, seed=7, checkpoint=journal)
+
+    def test_headerless_file_refused(self, graphs, tmp_path):
+        journal = tmp_path / "batch.jsonl"
+        journal.write_text('{"kind": "job", "index": 0}\n{"kind": "job", "index": 1}\n')
+        with pytest.raises(CheckpointError, match="header"):
+            BatchJournal(journal, epsilon=0.5, rho=4.0, num_jobs=3).load_completed(graphs)
+
+    def test_digest_is_content_addressed(self, graphs):
+        assert batch_graph_digest(graphs[0]) == batch_graph_digest(graphs[0])
+        assert batch_graph_digest(graphs[0]) != batch_graph_digest(graphs[1])
+
+
+class TestSolveStatusDetection:
+    @pytest.fixture()
+    def laplacian_and_rhs(self, small_er_graph):
+        lap = small_er_graph.laplacian()
+        rng = np.random.default_rng(5)
+        rhs = rng.standard_normal((small_er_graph.num_vertices, 4))
+        rhs -= rhs.mean(axis=0)  # keep RHS in the Laplacian's range
+        return lap, rhs
+
+    def test_converged_status_on_healthy_solve(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        result = laplacian_solve_many(lap, rhs, tol=1e-8)
+        assert result.all_converged
+        assert np.all(result.status == int(SolveStatus.CONVERGED))
+        assert not result.failures
+
+    def test_raise_on_failure_carries_column_failures(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        with pytest.raises(ConvergenceError) as excinfo:
+            laplacian_solve_many(
+                lap, rhs, tol=1e-30, max_iterations=3, raise_on_failure=True
+            )
+        failures = excinfo.value.failures
+        assert failures
+        for failure in failures:
+            assert failure.status == SolveStatus.MAX_ITERATIONS
+            assert failure.iterations == 3
+            assert np.isfinite(failure.residual)
+        # The message names the counts and the worst column.
+        assert "columns failed" in str(excinfo.value)
+
+    def test_non_finite_rhs_rejected(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        poisoned = rhs.copy()
+        poisoned[0, 2] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            laplacian_solve_many(lap, poisoned)
+
+    def test_nan_preconditioner_detected_as_not_finite(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        poisoned = NaNPoisonedOperator(lambda block: block, healthy_applications=0)
+        result = laplacian_solve_many(lap, rhs, preconditioner=poisoned)
+        assert not result.all_converged
+        assert np.all(result.status[~result.converged] == int(SolveStatus.NOT_FINITE))
+
+    def test_breakdown_on_non_psd_matrix(self):
+        n = 12
+        matrix = -np.eye(n)
+        rhs = np.ones((n, 2))
+        result = laplacian_solve_many(matrix, rhs, deflate=False)
+        assert not result.all_converged
+        assert np.all(result.status == int(SolveStatus.BREAKDOWN))
+
+    def test_divergence_limit_freezes_columns(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        result = laplacian_solve_many(lap, rhs, tol=1e-12, divergence_limit=1e-6)
+        assert not result.all_converged
+        assert np.any(result.status == int(SolveStatus.DIVERGED))
+
+    def test_stagnation_detected_on_unreachable_tolerance(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        result = laplacian_solve_many(lap, rhs, tol=1e-30, stagnation_window=5)
+        assert not result.all_converged
+        assert np.all(result.status[~result.converged] == int(SolveStatus.STAGNATED))
+        # Stagnation fires long before the 10n iteration cap.
+        assert int(result.iterations.max()) < 10 * lap.shape[0]
+
+    def test_work_budget_exhaustion(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        result = laplacian_solve_many(lap, rhs, tol=1e-12, work_budget=float(lap.nnz))
+        assert not result.all_converged
+        assert np.any(result.status == int(SolveStatus.BUDGET_EXHAUSTED))
+
+    def test_invalid_work_budget_rejected(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        with pytest.raises(ValueError, match="work_budget"):
+            laplacian_solve_many(lap, rhs, work_budget=0.0)
+
+    def test_column_failure_report_via_failures_property(self, laplacian_and_rhs):
+        lap, rhs = laplacian_and_rhs
+        result = laplacian_solve_many(lap, rhs, tol=1e-30, max_iterations=2)
+        failures = result.failures
+        assert len(failures) == rhs.shape[1]
+        assert {f.column for f in failures} == set(range(rhs.shape[1]))
+
+
+class TestValidationHardening:
+    def test_nan_edge_weight_rejected(self):
+        with pytest.raises(GraphError, match="finite"):
+            Graph(3, [0, 1], [1, 2], [1.0, float("nan")])
+
+    def test_inf_edge_weight_rejected(self):
+        with pytest.raises(GraphError, match="finite"):
+            Graph(3, [0, 1], [1, 2], [np.inf, 1.0])
+
+    def test_nonpositive_edge_weight_still_rejected(self):
+        with pytest.raises(GraphError, match="positive"):
+            Graph(3, [0, 1], [1, 2], [1.0, 0.0])
+
+
+class TestDistributedPolicyRouting:
+    def test_sharded_fanout_rejects_collect(self, small_er_graph):
+        config = SparsifierConfig(num_shards=2)
+        policy = FailurePolicy(on_error="collect", max_attempts=2, **FAST_RETRY)
+        with pytest.raises(BackendError, match="collect"):
+            distributed_parallel_sample(
+                small_er_graph, epsilon=0.5, config=config, seed=3,
+                failure_policy=policy,
+            )
+
+    def test_sharded_fanout_accepts_retry(self, small_er_graph):
+        config = SparsifierConfig(num_shards=2)
+        policy = FailurePolicy(on_error="retry", max_attempts=2, **FAST_RETRY)
+        baseline = distributed_parallel_sample(
+            small_er_graph, epsilon=0.5, config=config, seed=3
+        )
+        with_policy = distributed_parallel_sample(
+            small_er_graph, epsilon=0.5, config=config, seed=3,
+            failure_policy=policy,
+        )
+        assert np.array_equal(
+            baseline.sparsifier.edge_weights, with_policy.sparsifier.edge_weights
+        )
