@@ -1,0 +1,211 @@
+"""Streaming ingestion benchmark: amortized per-edge cost + snapshot quality.
+
+Two questions, measured on the same workloads:
+
+* **Throughput** — what does one streamed edge cost, amortized over
+  batched ingestion with periodic compaction?  Reported as microseconds
+  per edge and compared against the naive alternative of re-running the
+  batch sampler from scratch after every batch (the cost a user without
+  :class:`repro.streaming.StreamingSparsifier` would pay to keep an
+  up-to-date sparsifier).
+* **Quality** — is the final streamed snapshot as good as the one-shot
+  batch sampler on the same input?  Both sides are certified with
+  :func:`repro.analysis.spectral.approximation_report` against the exact
+  input, and the snapshot's edge count is compared to the batch
+  sparsifier's.
+
+Workloads are the scenario matrix of the other benchmarks (banded /
+power-law / Erdős–Rényi) streamed in fixed-size batches.  One parity row
+also hard-asserts the module's core contract: a one-compaction stream is
+bit-identical to ``parallel_sample``.
+
+Results go to ``BENCH_streaming.json`` at the repo root.  Wall-clock
+*assertions* are gated on ``REPRO_BENCH_ASSERT_SPEEDUP=1`` (CI timing
+noise must not fail the build); the JSON always records the measured
+numbers.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py           # full matrix
+    PYTHONPATH=src python benchmarks/bench_streaming.py --smoke   # tiny, CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.reporting import ExperimentTable
+from repro.analysis.spectral import approximation_report
+from repro.core.config import SparsifierConfig
+from repro.core.sample import parallel_sample
+from repro.graphs import generators as gen
+from repro.graphs.graph import Graph
+from repro.streaming import StreamingSparsifier
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_streaming.json"
+SMOKE_RESULT_PATH = REPO_ROOT / "BENCH_streaming_smoke.json"
+SEED = 20140623  # SPAA'14
+
+
+def build_graph(scenario: str, n: int) -> Graph:
+    if scenario == "banded":
+        return gen.banded_graph(n, 12)
+    if scenario == "powerlaw":
+        return gen.barabasi_albert_graph(n, 8, seed=SEED)
+    if scenario == "er":
+        p = min(16.0 / n, 0.5)
+        return gen.erdos_renyi_graph(n, p, seed=SEED, ensure_connected=True)
+    raise ValueError(f"unknown scenario {scenario!r}")
+
+
+def stream_once(graph: Graph, batch_size: int, config: SparsifierConfig) -> tuple:
+    """Stream the whole graph in batches; returns (stream, seconds)."""
+    edges = np.column_stack([graph.edge_u, graph.edge_v])
+    stream = StreamingSparsifier(
+        graph.num_vertices,
+        config=config,
+        seed=SEED,
+        compaction_interval=max(batch_size, 2 * graph.num_vertices),
+    )
+    start = time.perf_counter()
+    for lo in range(0, graph.num_edges, batch_size):
+        stream.ingest(edges[lo : lo + batch_size], graph.edge_weights[lo : lo + batch_size])
+    return stream, time.perf_counter() - start
+
+
+def naive_rerun_seconds(graph: Graph, batch_size: int, config: SparsifierConfig) -> float:
+    """The no-streaming baseline: re-sample the growing prefix per batch."""
+    start = time.perf_counter()
+    for hi in range(batch_size, graph.num_edges + batch_size, batch_size):
+        prefix = graph.select_edges(np.arange(min(hi, graph.num_edges)))
+        parallel_sample(prefix, config=config, seed=SEED)
+    return time.perf_counter() - start
+
+
+def run_case(scenario: str, n: int, batch_size: int, certify: bool) -> dict:
+    graph = build_graph(scenario, n)
+    config = SparsifierConfig()
+    stream, stream_s = stream_once(graph, batch_size, config)
+    naive_s = naive_rerun_seconds(graph, batch_size, config)
+    snapshot = stream.snapshot()
+    batch = parallel_sample(graph, config=config, seed=SEED)
+    row = {
+        "scenario": scenario,
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "batch_size": batch_size,
+        "batches": stream.batches_ingested,
+        "compactions": stream.compactions,
+        "stream_seconds": round(stream_s, 4),
+        "naive_rerun_seconds": round(naive_s, 4),
+        "speedup_vs_rerun": round(naive_s / max(stream_s, 1e-9), 2),
+        "us_per_edge": round(1e6 * stream_s / max(graph.num_edges, 1), 3),
+        "snapshot_edges": snapshot.num_edges,
+        "batch_sampler_edges": batch.sparsifier.num_edges,
+    }
+    if certify:
+        stream_report = approximation_report(
+            graph, snapshot.graph, num_vectors=16, num_pairs=8, seed=SEED
+        )
+        batch_report = approximation_report(
+            graph, batch.sparsifier, num_vectors=16, num_pairs=8, seed=SEED
+        )
+        row["stream_eps_achieved"] = round(
+            stream_report.certificate.epsilon_achieved, 4
+        )
+        row["batch_eps_achieved"] = round(
+            batch_report.certificate.epsilon_achieved, 4
+        )
+        row["connectivity_preserved"] = bool(stream_report.connectivity_preserved)
+    return row
+
+
+def check_parity(graph: Graph) -> bool:
+    """One-compaction stream must equal the batch sampler bit for bit."""
+    config = SparsifierConfig()
+    batch = parallel_sample(graph, config=config, seed=SEED)
+    stream = StreamingSparsifier(
+        graph.num_vertices, config=config, seed=SEED,
+        compaction_interval=graph.num_edges,
+    )
+    stream.ingest(
+        np.column_stack([graph.edge_u, graph.edge_v]), graph.edge_weights
+    )
+    snap = stream.snapshot()
+    return bool(
+        np.array_equal(snap.graph.edge_u, batch.sparsifier.edge_u)
+        and np.array_equal(snap.graph.edge_v, batch.sparsifier.edge_v)
+        and np.array_equal(snap.graph.edge_weights, batch.sparsifier.edge_weights)
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny sizes for CI: assert JSON emission + parity, no timing claims",
+    )
+    parser.add_argument("--out", type=Path, default=None, help="override output JSON path")
+    args = parser.parse_args()
+
+    if args.smoke:
+        cases = [("banded", 200, 400), ("powerlaw", 200, 500)]
+        certify = True
+        out_path = args.out or SMOKE_RESULT_PATH
+    else:
+        cases = [
+            ("banded", 2000, 2000),
+            ("banded", 8000, 8000),
+            ("powerlaw", 2000, 2000),
+            ("powerlaw", 8000, 8000),
+            ("er", 4000, 4000),
+        ]
+        certify = False  # dense eigensolves at these sizes dominate the run
+        out_path = args.out or RESULT_PATH
+
+    rows = [run_case(scenario, n, batch, certify) for scenario, n, batch in cases]
+
+    columns = list(rows[0].keys())
+    table = ExperimentTable("streaming-ingestion", columns)
+    for row in rows:
+        table.add_row(**row)
+    print(table.render())
+
+    parity = check_parity(build_graph("banded", 150))
+    assert parity, "one-compaction stream drifted from the batch sampler"
+
+    assert_speedup = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1"
+    if assert_speedup and not args.smoke:
+        # Streaming must beat per-batch re-sampling wherever >= 4 batches
+        # amortize the compactions (the whole point of incremental state).
+        for row in rows:
+            if row["batches"] >= 4:
+                assert row["speedup_vs_rerun"] >= 1.5, (
+                    f"streaming slower than naive re-runs on {row['scenario']} "
+                    f"n={row['n']}: {row['speedup_vs_rerun']}x"
+                )
+
+    payload = {
+        "experiment": "streaming-ingestion",
+        "seed": SEED,
+        "smoke": args.smoke,
+        "speedup_asserted": assert_speedup and not args.smoke,
+        "batch_parity": parity,
+        "results": rows,
+    }
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+    parsed = json.loads(out_path.read_text())
+    assert parsed["results"], f"no benchmark rows written to {out_path}"
+    print(f"\nwrote {out_path} ({len(rows)} rows)")
+
+
+if __name__ == "__main__":
+    main()

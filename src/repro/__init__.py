@@ -15,7 +15,11 @@ Graph Sparsification* (Ioannis Koutis, SPAA 2014).  The package provides
 * the Peng–Spielman approximate-inverse-chain SDD solver with the
   sparsifier plugged in (:mod:`repro.solvers`),
 * baselines (Spielman–Srivastava, uniform, Kapralov–Panigrahi-style) in
-  :mod:`repro.baselines`,
+  :mod:`repro.baselines`, plus random k-out presampling
+  (:mod:`repro.graphs.kout`),
+* incremental sparsification over edge streams — batched ingest,
+  on-demand snapshots and certification, journaled crash recovery
+  (:mod:`repro.streaming`),
 * measurement/reporting helpers for the experiment harness
   (:mod:`repro.analysis`), and
 * the unified method API (:mod:`repro.api`): a registry-driven engine
@@ -93,6 +97,10 @@ from repro.baselines import (
     uniform_sparsify,
     kapralov_panigrahi_sparsify,
 )
+from repro.graphs.kout import random_k_out_sample
+
+# Streaming ingestion.
+from repro.streaming import StreamingSparsifier, StreamJournal
 
 # Unified method API (the front door).
 from repro.api import (
@@ -158,6 +166,9 @@ __all__ = [
     "spielman_srivastava_sparsify",
     "uniform_sparsify",
     "kapralov_panigrahi_sparsify",
+    "random_k_out_sample",
+    "StreamingSparsifier",
+    "StreamJournal",
     "sparsify",
     "compare_methods",
     "Engine",

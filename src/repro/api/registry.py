@@ -106,6 +106,7 @@ def _ensure_builtin_methods() -> None:
             return
         import repro.baselines.methods  # noqa: F401  (registers on import)
         import repro.core.methods  # noqa: F401  (registers on import)
+        import repro.streaming.method  # noqa: F401  (registers on import)
         _BUILTINS_LOADED = True
 
 

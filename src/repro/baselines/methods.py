@@ -15,6 +15,11 @@ Registers the three baselines with the unified method registry
 ``kapralov-panigrahi``
     Spanner-oversampling with ``1/eps^4`` size [7] — the other
     spanner-based scheme (Remark 4).
+``k-out``
+    Random k-out sampling with Horvitz–Thompson reweighting
+    (:mod:`repro.graphs.kout`) — the connectivity-regime baseline and
+    the streaming sparsifier's dense-burst presampler.  Not a spectral
+    sparsifier; it ignores epsilon entirely (``k`` rides ``options``).
 
 The baselines are single-shot (no rounds) and ignore ``rho``; each
 adapter resolves epsilon with the same "explicit epsilon else
@@ -33,8 +38,14 @@ from repro.baselines.spielman_srivastava import spielman_srivastava_sparsify
 from repro.baselines.uniform import uniform_sparsify
 from repro.core.config import SparsifierConfig
 from repro.graphs.graph import Graph
+from repro.graphs.kout import random_k_out_sample
 
-__all__ = ["run_spielman_srivastava", "run_uniform", "run_kapralov_panigrahi"]
+__all__ = [
+    "run_spielman_srivastava",
+    "run_uniform",
+    "run_kapralov_panigrahi",
+    "run_k_out",
+]
 
 
 def _resolve_epsilon(epsilon: Optional[float], config: SparsifierConfig) -> float:
@@ -121,3 +132,28 @@ def run_kapralov_panigrahi(
     return kapralov_panigrahi_sparsify(
         graph, epsilon=_resolve_epsilon(epsilon, config), seed=seed, **options
     )
+
+
+@register_method(
+    "k-out",
+    description="random k-out sampling, Horvitz-Thompson reweighted (Holm et al.)",
+    aliases=("kout",),
+)
+def run_k_out(
+    graph: Graph,
+    *,
+    config: SparsifierConfig,
+    epsilon: Optional[float],
+    rho: float,
+    seed: Any,
+    options: Dict[str, Any],
+    emit: Callable[..., None],
+):
+    """Engine adapter delegating to :func:`repro.graphs.kout.random_k_out_sample`.
+
+    ``k`` and ``reweight`` ride ``options``; ``k`` defaults to
+    ``ceil(log2 n)``.  Epsilon is deliberately ignored — k-out is a
+    connectivity sampler, not a spectral one, which is exactly why it is
+    a useful counter-baseline in ``compare`` runs.
+    """
+    return random_k_out_sample(graph, seed=seed, **options)

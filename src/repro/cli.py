@@ -27,6 +27,15 @@ Subcommands
 ``spanner``
     Compute a Baswana–Sen log n-spanner (or a t-bundle) of an edge-list
     file and write it out.
+``stream``
+    Ingest JSON-lines edge batches through a
+    :class:`~repro.streaming.StreamingSparsifier` and write the final
+    snapshot as an edge list.  Each input line is either a JSON object
+    ``{"edges": [[u, v], ...], "weights": [...]}`` (weights optional) or
+    a bare array of ``[u, v]`` / ``[u, v, w]`` edges; ``-`` reads from
+    stdin.  ``--journal`` makes the stream crash-resumable
+    (``--resume`` picks it back up, replaying journaled batches before
+    ingesting any new input).
 
 ``sparsify`` / ``batch`` accept ``--backend`` / ``--workers`` /
 ``--shards`` to choose where the work executes; backends never change the
@@ -224,6 +233,39 @@ def build_parser() -> argparse.ArgumentParser:
     spanner.add_argument("--k", type=int, default=None,
                          help="Baswana-Sen parameter k (default ceil(log2 n))")
     spanner.add_argument("--seed", type=int, default=0, help="random seed")
+
+    stream = subparsers.add_parser(
+        "stream", help="ingest JSON-lines edge batches incrementally and snapshot"
+    )
+    stream.add_argument("input", nargs="?", default=None,
+                        help="JSON-lines batch file ('-' = stdin; optional with --resume)")
+    stream.add_argument("output", help="output edge-list file for the snapshot")
+    stream.add_argument("--n", type=int, default=None,
+                        help="number of vertices (required unless --resume)")
+    stream.add_argument("--epsilon", type=float, default=None,
+                        help="target epsilon for bundle sizing (default 0.5)")
+    stream.add_argument("--bundle-t", type=int, default=None,
+                        help="explicit bundle size (default: practical-mode ~log n)")
+    stream.add_argument("--k", type=int, default=None,
+                        help="Baswana-Sen parameter k (default ceil(log2 n))")
+    stream.add_argument("--seed", type=int, default=_DEFAULT_SEED, help="stream seed")
+    stream.add_argument("--solver", choices=["cg", "chain", "auto"], default=None,
+                        help="inner Laplacian solver for --certify-resistances")
+    stream.add_argument("--window", type=int, default=None,
+                        help="keep only edges from the last WINDOW ingest batches")
+    stream.add_argument("--decay", type=float, default=None,
+                        help="exponential per-batch weight decay in (0, 1]")
+    stream.add_argument("--compaction-interval", type=int, default=None,
+                        help="ingested edges per compaction block (default max(4096, 2n))")
+    stream.add_argument("--kout-presample", type=int, default=None, metavar="K",
+                        help="k-out presample ingest batches larger than K * n edges")
+    stream.add_argument("--journal", default=None, metavar="FILE.jsonl",
+                        help="journal every batch before processing (crash-resumable)")
+    stream.add_argument("--resume", action="store_true",
+                        help="resume the stream recorded in --journal before reading input")
+    stream.add_argument("--certify-resistances", type=int, default=None, metavar="PAIRS",
+                        help="certify the snapshot against the exact live graph over "
+                             "PAIRS probe pairs via the blocked multi-RHS solver")
     return parser
 
 
@@ -364,6 +406,101 @@ def _run_spanner(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_stream_batch(line: str, line_number: int):
+    """One JSON-lines batch -> (edges, weights) for ``ingest``."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"stream input line {line_number} is not JSON: {exc}") from exc
+    if isinstance(payload, dict):
+        if "edges" not in payload:
+            raise ReproError(
+                f"stream input line {line_number}: batch object needs an \"edges\" key"
+            )
+        return payload["edges"], payload.get("weights")
+    if isinstance(payload, list):
+        return payload, None
+    raise ReproError(
+        f"stream input line {line_number}: expected a batch object or edge array, "
+        f"got {type(payload).__name__}"
+    )
+
+
+def _run_stream(args: argparse.Namespace) -> int:
+    from repro.core.config import SparsifierConfig
+    from repro.streaming import StreamingSparsifier
+
+    config = SparsifierConfig(solver=args.solver) if args.solver else None
+    if args.resume:
+        if not args.journal:
+            raise ReproError("--resume needs --journal pointing at the stream's journal")
+        stream = StreamingSparsifier.resume(args.journal, config=config)
+        print(f"resumed: {stream.batches_ingested} batches, "
+              f"{stream.edges_ingested} edges, {stream.compactions} compactions")
+    else:
+        if args.n is None:
+            raise ReproError("stream needs --n (number of vertices) unless --resume")
+        stream = StreamingSparsifier(
+            args.n,
+            epsilon=args.epsilon,
+            t=args.bundle_t,
+            k=args.k,
+            config=config,
+            seed=args.seed,
+            window=args.window,
+            decay=args.decay,
+            compaction_interval=args.compaction_interval,
+            kout_presample=args.kout_presample,
+            journal=args.journal,
+        )
+    if args.input is not None:
+        handle = sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
+        try:
+            for line_number, line in enumerate(handle, start=1):
+                if not line.strip():
+                    continue
+                edges, weights = _parse_stream_batch(line, line_number)
+                record = stream.ingest(edges, weights)
+                print(f"  batch {record.batch_index}: +{record.edges} edges"
+                      + (f" (presampled to {record.edges_after_presample})"
+                         if record.edges_after_presample != record.edges else "")
+                      + (f", {record.compactions_run} compaction(s)"
+                         if record.compactions_run else "")
+                      + (f", {record.evicted_edges} evicted"
+                         if record.evicted_edges else ""))
+        finally:
+            if handle is not sys.stdin:
+                handle.close()
+    elif not args.resume:
+        raise ReproError("stream needs an input file (or '-') unless --resume")
+    snapshot = stream.snapshot()
+    write_edge_list(snapshot.graph, args.output)
+    stats = snapshot.stats
+    print(f"stream: {stats.batches_ingested} batches, {stats.edges_ingested} edges "
+          f"ingested, {stats.compactions} compactions")
+    print(f"output: m={snapshot.num_edges} of {stats.live_input_edges} live edges "
+          f"-> {args.output}")
+    if args.certify_resistances is not None:
+        if args.certify_resistances <= 0:
+            raise ReproError(
+                f"--certify-resistances needs a positive pair count, "
+                f"got {args.certify_resistances}"
+            )
+        certificate = stream.certify(
+            num_pairs=args.certify_resistances,
+            seed=args.seed,
+            solver=args.solver,
+            snapshot=snapshot,
+        )
+        rc = certificate.resistances
+        print(f"resistance certificate: R_H/R_G in [{rc.ratio_min:.4f}, {rc.ratio_max:.4f}] "
+              f"over {rc.num_pairs_used} probe pairs (solver={certificate.solver})")
+        spectral = certificate.report.certificate
+        print(f"spectral certificate: {spectral.lower:.4f} * G <= H <= "
+              f"{spectral.upper:.4f} * G")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -376,6 +513,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_compare(args)
     if args.command == "spanner":
         return _run_spanner(args)
+    if args.command == "stream":
+        return _run_stream(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

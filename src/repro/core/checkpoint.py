@@ -38,19 +38,71 @@ from repro.exceptions import CheckpointError
 from repro.graphs.graph import Graph
 from repro.parallel.metrics import PRAMCost
 
-__all__ = ["BatchJournal", "batch_graph_digest"]
+__all__ = [
+    "BatchJournal",
+    "batch_graph_digest",
+    "edge_array_digest",
+    "read_journal_records",
+]
 
 _JOURNAL_VERSION = 1
 
 
+def edge_array_digest(
+    num_vertices: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_weights: np.ndarray,
+) -> str:
+    """Content hash of exact edge arrays (stable across processes).
+
+    Shared by the batch journal (whole-graph digests) and the streaming
+    journal (per-batch digests), so the two persistence layers cannot
+    drift in what "the same edges" means.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(np.int64(num_vertices).tobytes())
+    digest.update(np.ascontiguousarray(edge_u, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(edge_v, dtype=np.int64).tobytes())
+    digest.update(np.ascontiguousarray(edge_weights, dtype=np.float64).tobytes())
+    return digest.hexdigest()
+
+
 def batch_graph_digest(graph: Graph) -> str:
     """Content hash of a graph's exact edge data (stable across processes)."""
-    digest = hashlib.blake2b(digest_size=16)
-    digest.update(np.int64(graph.num_vertices).tobytes())
-    digest.update(np.ascontiguousarray(graph.edge_u, dtype=np.int64).tobytes())
-    digest.update(np.ascontiguousarray(graph.edge_v, dtype=np.int64).tobytes())
-    digest.update(np.ascontiguousarray(graph.edge_weights, dtype=np.float64).tobytes())
-    return digest.hexdigest()
+    return edge_array_digest(
+        graph.num_vertices, graph.edge_u, graph.edge_v, graph.edge_weights
+    )
+
+
+def read_journal_records(path: Path) -> List[Dict[str, Any]]:
+    """Parse a JSON-lines journal, dropping a torn trailing line.
+
+    A crash mid-append corrupts at most the final line, which is detected
+    and silently dropped; corruption anywhere *before* the final line
+    means the file is not an append-only journal of ours and raises
+    :class:`CheckpointError`.  Missing or empty file returns ``[]``.
+    """
+    if not path.exists():
+        return []
+    try:
+        lines = path.read_text().splitlines()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint journal {path}: {exc}") from exc
+    records: List[Dict[str, Any]] = []
+    for line_number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if line_number == len(lines) - 1:
+                break  # torn trailing append from a crash: drop it
+            raise CheckpointError(
+                f"checkpoint journal {path} is corrupt at line "
+                f"{line_number + 1}: {exc}"
+            ) from exc
+    return records
 
 
 def _serialize_result(result: SparsifyResult) -> Dict[str, Any]:
@@ -135,27 +187,7 @@ class BatchJournal:
         batch and silently reusing it would return wrong sparsifiers.
         A truncated trailing line (crash mid-append) is dropped.
         """
-        if not self.path.exists():
-            return {}
-        try:
-            lines = self.path.read_text().splitlines()
-        except OSError as exc:
-            raise CheckpointError(f"cannot read checkpoint journal {self.path}: {exc}") from exc
-        if not lines:
-            return {}
-        records: List[Dict[str, Any]] = []
-        for line_number, line in enumerate(lines):
-            if not line.strip():
-                continue
-            try:
-                records.append(json.loads(line))
-            except json.JSONDecodeError as exc:
-                if line_number == len(lines) - 1:
-                    break  # torn trailing append from a crash: drop it
-                raise CheckpointError(
-                    f"checkpoint journal {self.path} is corrupt at line "
-                    f"{line_number + 1}: {exc}"
-                ) from exc
+        records = read_journal_records(self.path)
         if not records:
             return {}
         header = records[0]

@@ -72,6 +72,10 @@ class CheckpointError(BackendError):
     """A batch checkpoint journal is unreadable or inconsistent with the batch."""
 
 
+class StreamingError(ReproError):
+    """The streaming sparsifier was misconfigured or driven into an invalid state."""
+
+
 class FaultInjectionError(ReproError):
     """Deterministic failure raised by :mod:`repro.testing.faults` injectors."""
 

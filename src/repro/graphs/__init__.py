@@ -30,6 +30,13 @@ from repro.graphs.operations import (
     reweighted,
 )
 from repro.graphs.sharding import GraphShards, partition_vertex_ranges, shard_edges
+from repro.graphs.kout import (
+    KOutResult,
+    default_k_out,
+    k_out_keep_probabilities,
+    k_out_select,
+    random_k_out_sample,
+)
 from repro.graphs import generators
 from repro.graphs import io
 from repro.graphs import conversion
@@ -56,6 +63,11 @@ __all__ = [
     "graph_sum",
     "induced_subgraph",
     "reweighted",
+    "KOutResult",
+    "default_k_out",
+    "k_out_keep_probabilities",
+    "k_out_select",
+    "random_k_out_sample",
     "generators",
     "io",
     "conversion",

@@ -24,7 +24,7 @@ materialised exactly once at the end.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -40,7 +40,13 @@ from repro.spanners.baswana_sen import (
 )
 from repro.utils.rng import SeedLike, as_rng, split_rng
 
-__all__ = ["BundleResult", "t_bundle_spanner", "bundle_size_for_epsilon", "bundle_for_epsilon"]
+__all__ = [
+    "BundleResult",
+    "bundle_select",
+    "t_bundle_spanner",
+    "bundle_size_for_epsilon",
+    "bundle_for_epsilon",
+]
 
 
 @dataclass
@@ -95,48 +101,39 @@ def bundle_size_for_epsilon(num_vertices: int, epsilon: float, constant: float =
     return max(1, int(np.ceil(constant * log_n * log_n / (epsilon * epsilon))))
 
 
-def t_bundle_spanner(
-    graph: GraphLike,
+def bundle_select(
+    num_vertices: int,
+    edge_u: np.ndarray,
+    edge_v: np.ndarray,
+    edge_weights: np.ndarray,
     t: int,
     k: Optional[int] = None,
     seed: SeedLike = None,
     tracker: Optional[PRAMTracker] = None,
     stop_when_exhausted: bool = True,
-) -> BundleResult:
-    """Build a t-bundle spanner of ``graph``.
+) -> Tuple[List[np.ndarray], np.ndarray, int, bool]:
+    """Raw-array t-bundle selection: the peel loop without materialisation.
 
-    Parameters
-    ----------
-    graph:
-        Input weighted graph, or a trusted :class:`~repro.graphs.views.EdgeSubset`
-        view of one (the sharded sampling path peels shard views directly).
-        ``edge_indices`` are relative to the given graph/view.
-    t:
-        Number of edge-disjoint spanner components requested.
-    k:
-        Baswana–Sen parameter for each component (default ``ceil(log2 n)``).
-    seed:
-        RNG seed; component constructions receive independent sub-streams.
-    tracker:
-        Optional shared PRAM tracker.
-    stop_when_exhausted:
-        Stop early once every edge of the graph has been absorbed into the
-        bundle (the remaining graph is empty).  This is the behaviour the
-        sparsifier wants: a bundle that already contains all of ``G``
-        certifies nothing more by adding empty components.
+    This is the kernel behind :func:`t_bundle_spanner`, exposed so callers
+    that already hold validated edge arrays (the streaming sparsifier's
+    compaction step, shard workers) can run the ``t``-round peel without
+    constructing a :class:`Graph` at all.  RNG discipline is identical to
+    :func:`t_bundle_spanner`: ``as_rng(seed)`` then one
+    :func:`~repro.utils.rng.split_rng` sub-stream per component, so a
+    given seed selects bit-identical bundles through either entry point.
 
-    Returns
-    -------
-    BundleResult
+    Returns ``(component_indices, all_indices, built, exhausted)`` where
+    indices are positions into the input arrays, ``built`` is the number
+    of components constructed and ``exhausted`` says the bundle absorbed
+    every edge.
     """
     if t < 1:
         raise GraphError(f"bundle size t must be >= 1, got {t}")
     tracker = tracker if tracker is not None else PRAMTracker()
-    before = tracker.total
     rng = as_rng(seed)
     component_rngs = split_rng(rng, t)
 
-    n = graph.num_vertices
+    n = num_vertices
     if k is None:
         k_eff = max(1, int(np.ceil(np.log2(max(n, 2)))))
     else:
@@ -145,10 +142,10 @@ def t_bundle_spanner(
         raise GraphError(f"spanner parameter k must be >= 1, got {k_eff}")
 
     # Working edge arrays; ``cur_idx`` maps positions back to the input.
-    cur_u = np.asarray(graph.edge_u)
-    cur_v = np.asarray(graph.edge_v)
-    cur_w = np.asarray(graph.edge_weights)
-    cur_idx = np.arange(graph.num_edges, dtype=np.int64)
+    cur_u = np.asarray(edge_u)
+    cur_v = np.asarray(edge_v)
+    cur_w = np.asarray(edge_weights)
+    cur_idx = np.arange(cur_u.shape[0], dtype=np.int64)
     component_indices: List[np.ndarray] = []
     built = 0
     exhausted = False
@@ -192,6 +189,56 @@ def t_bundle_spanner(
         tracker.charge_reduction(max(num_chosen, 1), label="bundle/assemble")
     else:
         all_indices = np.array([], dtype=np.int64)
+    return component_indices, all_indices, built, exhausted
+
+
+def t_bundle_spanner(
+    graph: GraphLike,
+    t: int,
+    k: Optional[int] = None,
+    seed: SeedLike = None,
+    tracker: Optional[PRAMTracker] = None,
+    stop_when_exhausted: bool = True,
+) -> BundleResult:
+    """Build a t-bundle spanner of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input weighted graph, or a trusted :class:`~repro.graphs.views.EdgeSubset`
+        view of one (the sharded sampling path peels shard views directly).
+        ``edge_indices`` are relative to the given graph/view.
+    t:
+        Number of edge-disjoint spanner components requested.
+    k:
+        Baswana–Sen parameter for each component (default ``ceil(log2 n)``).
+    seed:
+        RNG seed; component constructions receive independent sub-streams.
+    tracker:
+        Optional shared PRAM tracker.
+    stop_when_exhausted:
+        Stop early once every edge of the graph has been absorbed into the
+        bundle (the remaining graph is empty).  This is the behaviour the
+        sparsifier wants: a bundle that already contains all of ``G``
+        certifies nothing more by adding empty components.
+
+    Returns
+    -------
+    BundleResult
+    """
+    tracker = tracker if tracker is not None else PRAMTracker()
+    before = tracker.total
+    component_indices, all_indices, built, exhausted = bundle_select(
+        graph.num_vertices,
+        graph.edge_u,
+        graph.edge_v,
+        graph.edge_weights,
+        t,
+        k=k,
+        seed=seed,
+        tracker=tracker,
+        stop_when_exhausted=stop_when_exhausted,
+    )
     bundle = _materialize_selection(graph, all_indices)
     return BundleResult(
         bundle=bundle,

@@ -1,0 +1,31 @@
+"""Streaming sparsification: incremental ingest, snapshot, certify.
+
+The entry point is :class:`StreamingSparsifier` — see
+:mod:`repro.streaming.sparsifier` for the design and
+:mod:`repro.streaming.journal` for crash-resilient persistence.  A
+``"streaming"`` method (:mod:`repro.streaming.method`) exposes the same
+machinery through the unified method registry and the CLI.
+"""
+
+from repro.streaming.journal import STREAM_JOURNAL_VERSION, StreamJournal
+from repro.streaming.sparsifier import (
+    CompactionRecord,
+    IngestRecord,
+    StreamCertificate,
+    StreamSnapshot,
+    StreamStats,
+    StreamingSparsifier,
+    compaction_rng,
+)
+
+__all__ = [
+    "STREAM_JOURNAL_VERSION",
+    "StreamJournal",
+    "CompactionRecord",
+    "IngestRecord",
+    "StreamCertificate",
+    "StreamSnapshot",
+    "StreamStats",
+    "StreamingSparsifier",
+    "compaction_rng",
+]

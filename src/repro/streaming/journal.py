@@ -1,0 +1,153 @@
+"""Persistence for edge streams: the batch-ingest journal.
+
+A stream that dies mid-ingest should resume *bit-exactly*: the
+:class:`~repro.streaming.sparsifier.StreamingSparsifier` is deterministic
+given its construction parameters and the exact batch sequence, so it is
+enough to persist those two things.  :class:`StreamJournal` does exactly
+that, reusing the machinery of the batch checkpoint journal
+(:mod:`repro.core.checkpoint`):
+
+* **Append-only JSON lines** — a header pinning the stream parameters
+  (vertex count, bundle shape, sampling probability, seed,
+  window/decay/compaction settings), then one line per ingested batch
+  with its exact edge arrays and a content digest.
+* **Journal-then-process** — the sparsifier appends a batch *before*
+  folding it into its state, so a crash at any point loses at most the
+  batch whose append was itself torn; the torn trailing line is detected
+  and dropped on load (same rule as :class:`~repro.core.checkpoint.BatchJournal`).
+* **Bit-exact round-trip** — weights survive JSON exactly (shortest
+  round-trip float repr), and replaying the journaled batches through a
+  fresh sparsifier reproduces the crashed stream's state bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.core.checkpoint import edge_array_digest, read_journal_records
+from repro.exceptions import CheckpointError
+
+__all__ = ["StreamJournal", "STREAM_JOURNAL_VERSION"]
+
+STREAM_JOURNAL_VERSION = 1
+
+# Header keys that pin the stream's identity: a journal whose header
+# disagrees on any of these belongs to a *different* stream and replaying
+# it would produce a different (wrong) state.
+_PINNED_KEYS = (
+    "num_vertices",
+    "t",
+    "k",
+    "sampling_probability",
+    "seed",
+    "window",
+    "decay",
+    "compaction_interval",
+    "kout_presample",
+)
+
+Batch = Tuple[int, np.ndarray, np.ndarray, np.ndarray]
+
+
+class StreamJournal:
+    """Append-only JSON-lines journal of ingested stream batches."""
+
+    def __init__(self, path: Union[str, Path], params: Dict[str, Any]) -> None:
+        self.path = Path(path)
+        missing = [key for key in _PINNED_KEYS if key not in params]
+        if missing:
+            raise CheckpointError(
+                f"stream journal header is missing pinned keys: {', '.join(missing)}"
+            )
+        self._params = {key: params[key] for key in _PINNED_KEYS}
+
+    @property
+    def params(self) -> Dict[str, Any]:
+        return dict(self._params)
+
+    def append_batch(
+        self, index: int, u: np.ndarray, v: np.ndarray, w: np.ndarray
+    ) -> None:
+        """Append one ingested batch (writing the header first if needed)."""
+        line = json.dumps(
+            {
+                "kind": "batch",
+                "index": int(index),
+                "u": np.asarray(u, dtype=np.int64).tolist(),
+                "v": np.asarray(v, dtype=np.int64).tolist(),
+                "w": np.asarray(w, dtype=np.float64).tolist(),
+                "digest": edge_array_digest(self._params["num_vertices"], u, v, w),
+            }
+        )
+        new_file = not self.path.exists() or self.path.stat().st_size == 0
+        with open(self.path, "a") as handle:
+            if new_file:
+                header = {
+                    "kind": "header",
+                    "version": STREAM_JOURNAL_VERSION,
+                    **self._params,
+                }
+                handle.write(json.dumps(header) + "\n")
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    @staticmethod
+    def load(path: Union[str, Path]) -> Tuple[Dict[str, Any], List[Batch]]:
+        """Read a journal back as ``(params, batches)``.
+
+        Validates the header shape and every batch line's digest, drops a
+        torn trailing line, and requires batch indices to be contiguous
+        from 0 (an append-only journal cannot legitimately skip one).
+        """
+        path = Path(path)
+        records = read_journal_records(path)
+        if not records:
+            raise CheckpointError(f"stream journal {path} is missing or empty")
+        header = records[0]
+        if header.get("kind") != "header":
+            raise CheckpointError(
+                f"stream journal {path} has no header line; "
+                "refusing to resume from an unrecognized file"
+            )
+        if header.get("version") != STREAM_JOURNAL_VERSION:
+            raise CheckpointError(
+                f"stream journal {path} has version {header.get('version')}, "
+                f"expected {STREAM_JOURNAL_VERSION}"
+            )
+        missing = [key for key in _PINNED_KEYS if key not in header]
+        if missing:
+            raise CheckpointError(
+                f"stream journal {path} header is missing keys: {', '.join(missing)}"
+            )
+        params = {key: header[key] for key in _PINNED_KEYS}
+        batches: List[Batch] = []
+        for record in records[1:]:
+            if record.get("kind") != "batch":
+                continue
+            index = int(record["index"])
+            if index != len(batches):
+                raise CheckpointError(
+                    f"stream journal {path} records batch {index} where batch "
+                    f"{len(batches)} was expected — the journal is not an "
+                    "uninterrupted prefix of one stream"
+                )
+            u = np.asarray(record["u"], dtype=np.int64)
+            v = np.asarray(record["v"], dtype=np.int64)
+            w = np.asarray(record["w"], dtype=np.float64)
+            if record.get("digest") != edge_array_digest(params["num_vertices"], u, v, w):
+                raise CheckpointError(
+                    f"stream journal {path}: batch {index} does not match its "
+                    "recorded digest — refusing to replay corrupted edges"
+                )
+            batches.append((index, u, v, w))
+        return params, batches
+
+    def matches(self, params: Dict[str, Any]) -> bool:
+        """True when ``params`` pins the same stream as this journal."""
+        return all(self._params[key] == params.get(key) for key in _PINNED_KEYS)

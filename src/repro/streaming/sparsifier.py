@@ -1,0 +1,853 @@
+"""Incremental sparsification over edge streams.
+
+All other entry points in the repo are batch-only; this module makes the
+paper's machinery *incremental*.  A :class:`StreamingSparsifier` ingests
+edge batches and maintains a compact state — the current t-bundle spanner
+plus the reweighted survivors of Bernoulli sampling — so that at any
+moment a spectral sparsifier of everything ingested so far can be
+materialised (:meth:`~StreamingSparsifier.snapshot`) and certified
+(:meth:`~StreamingSparsifier.certify`) without replaying the stream.
+
+Design
+------
+* **Blocks, not batches, drive the work.**  ``ingest`` appends edges to a
+  pending buffer; every ``compaction_interval`` ingested edges (counted
+  cumulatively, independent of how the caller chops the stream into
+  ``ingest`` calls) the earliest interval-many pending edges are folded
+  into the retained state by one ``PARALLELSAMPLE``-style pass: a
+  t-bundle spanner over (retained ∪ block) is kept whole, every edge
+  outside it is kept with probability ``p`` at ``1/p`` times its weight.
+  This is the streaming-clustering recipe of Baswana (cs/0611023) mapped
+  onto the vectorised Baswana–Sen kernels — the per-block pass runs
+  entirely on raw arrays (:func:`repro.spanners.bundle.bundle_select`),
+  no per-edge Python loop.  The retained set stays ``O(bundle + interval)``,
+  so the amortised cost per streamed edge is a constant number of
+  vectorised operations.
+* **Snapshots are split-invariant.**  Because compaction points depend
+  only on the cumulative edge count, the state after ingesting a given
+  edge sequence is bit-identical no matter how the sequence was split
+  into ``ingest`` calls (default mode; windowing, decay and k-out
+  presampling are batch-indexed by design and documented exceptions).
+* **Batch parity.**  Compaction ``c`` draws from an RNG stream that is a
+  pure function of ``(seed, c)``; compaction 0's stream is exactly
+  ``as_rng(seed)`` — the stream the batch path consumes — so a stream
+  whose first block is the whole graph reproduces
+  :func:`repro.core.sample.parallel_sample` (and the golden-pinned
+  :func:`repro.spanners.bundle.t_bundle_spanner` selection) bit for bit.
+* **Windowed / decayed views.**  ``window=w`` keeps only edges from the
+  last ``w`` ingest batches (older edges are evicted from state and
+  reference alike); ``decay=gamma`` scales an edge arriving in batch
+  ``a`` by ``gamma^(b - a)`` at current batch ``b`` (applied lazily, so
+  resume replay is bit-exact).
+* **Resilient ingestion.**  Each batch is journaled *before* it is
+  processed (:class:`~repro.streaming.journal.StreamJournal`), so a
+  crashed stream resumes losing at most the one batch whose append was
+  torn; compaction work runs through the configured execution backend
+  under an optional :class:`~repro.parallel.failure.FailurePolicy`, and
+  retries are output-neutral because every compaction rebuilds its RNG
+  from ``(seed, index)`` on each attempt.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.spectral import ApproximationReport, approximation_report
+from repro.api.result import UnifiedResult
+from repro.core.certificates import ResistanceCertificate, certify_resistances
+from repro.core.config import SparsifierConfig
+from repro.exceptions import CheckpointError, GraphError, StreamingError
+from repro.graphs.graph import Graph
+from repro.graphs.kout import k_out_keep_probabilities, k_out_select
+from repro.parallel.failure import FailurePolicy
+from repro.resistance.solver_select import ResistanceSolveStats
+from repro.spanners.bundle import bundle_select
+from repro.streaming.journal import StreamJournal
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "CompactionRecord",
+    "IngestRecord",
+    "StreamStats",
+    "StreamSnapshot",
+    "StreamCertificate",
+    "StreamingSparsifier",
+    "compaction_rng",
+]
+
+# spawn_key tags partitioning the seed's stream space: compactions after
+# the first, and per-batch k-out presampling.  Compaction 0 uses the bare
+# ``as_rng(seed)`` stream for batch parity (see module docstring).
+_COMPACTION_KEY = 1
+_PRESAMPLE_KEY = 2
+
+
+def compaction_rng(seed: int, index: int) -> np.random.Generator:
+    """The RNG stream compaction ``index`` draws from (pure in its inputs).
+
+    Compaction 0 consumes exactly ``as_rng(seed)`` — the same stream the
+    batch ``parallel_sample`` / ``t_bundle_spanner`` path uses — so a
+    single-compaction stream is bit-identical to the batch construction.
+    Later compactions use independent ``SeedSequence(seed, spawn_key=...)``
+    children.  Workers rebuild the generator from ``(seed, index)`` on
+    every attempt, which is what makes failure-policy retries
+    output-neutral.
+    """
+    if index == 0:
+        return as_rng(int(seed))
+    return np.random.default_rng(
+        np.random.SeedSequence(int(seed), spawn_key=(_COMPACTION_KEY, int(index)))
+    )
+
+
+def _presample_rng(seed: int, batch_index: int) -> np.random.Generator:
+    return np.random.default_rng(
+        np.random.SeedSequence(int(seed), spawn_key=(_PRESAMPLE_KEY, int(batch_index)))
+    )
+
+
+def _compaction_worker(item: int, shared: Dict[str, Any]) -> Dict[str, Any]:
+    """One PARALLELSAMPLE-style pass over the working edge arrays.
+
+    Module-level (not a closure) so process backends can pickle it and
+    fault-injection wrappers can intercept it.  Mirrors the unsharded
+    :func:`repro.core.sample.parallel_sample` operation order exactly:
+    bundle selection consumes the stream via ``split_rng``, then the
+    Bernoulli pass continues on the same generator.
+    """
+    index = int(item)
+    rng = compaction_rng(shared["seed"], index)
+    _, bundle, built, exhausted = bundle_select(
+        shared["num_vertices"],
+        shared["u"],
+        shared["v"],
+        shared["w"],
+        shared["t"],
+        k=shared["k"],
+        seed=rng,
+    )
+    m = int(shared["u"].shape[0])
+    in_bundle = np.zeros(m, dtype=bool)
+    in_bundle[bundle] = True
+    outside = np.flatnonzero(~in_bundle)
+    if outside.size == 0:
+        return {
+            "bundle": bundle,
+            "kept": np.array([], dtype=np.int64),
+            "outside": 0,
+            "built": built,
+            "exhausted": True,
+        }
+    keep_mask = rng.random(outside.size) < shared["p"]
+    return {
+        "bundle": bundle,
+        "kept": outside[keep_mask],
+        "outside": int(outside.size),
+        "built": built,
+        "exhausted": exhausted,
+    }
+
+
+@dataclass(frozen=True)
+class CompactionRecord:
+    """Telemetry for one compaction pass.
+
+    ``bundle_indices`` / ``kept_indices`` are positions into that
+    compaction's *working set* (retained state followed by the consumed
+    block, in ingest order).  For a stream whose first block is the whole
+    input they therefore coincide with input-graph edge indices — which
+    is how the golden parity tests pin the streaming path to the batch
+    spanner.
+    """
+
+    index: int
+    working_edges: int
+    bundle_edges: int
+    kept_edges: int
+    outside_edges: int
+    components_built: int
+    exhausted: bool
+    bundle_indices: np.ndarray
+    kept_indices: np.ndarray
+
+
+@dataclass(frozen=True)
+class IngestRecord:
+    """What one ``ingest`` call did."""
+
+    batch_index: int
+    edges: int
+    edges_after_presample: int
+    compactions_run: int
+    evicted_edges: int
+
+    # Round-record protocol (the engine/CLI print rounds generically).
+    @property
+    def round_index(self) -> int:
+        return self.batch_index
+
+    @property
+    def input_edges(self) -> int:
+        return self.edges
+
+    @property
+    def output_edges(self) -> int:
+        return self.edges_after_presample
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """Lightweight counters attached to snapshots (``UnifiedResult.native``)."""
+
+    batches_ingested: int
+    edges_ingested: int
+    live_input_edges: int
+    retained_edges: int
+    pending_edges: int
+    compactions: int
+    evicted_edges: int
+    presampled_away: int
+    ingest_seconds: float
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """A materialised sparsifier of everything currently live in the stream.
+
+    ``graph`` holds the retained edges (bundle at face weight, sampled
+    survivors boosted ``1/p`` per surviving compaction) plus the pending
+    edges that have not reached a compaction point yet (kept exactly).
+    ``unified`` wraps the same graph in the engine's result model, so a
+    snapshot drops into every comparison/reporting path a batch result
+    can.
+    """
+
+    graph: Graph
+    unified: UnifiedResult
+    stats: StreamStats
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+
+@dataclass(frozen=True)
+class StreamCertificate:
+    """Quality measurement of one snapshot against the live exact graph.
+
+    ``report`` carries the full :class:`~repro.analysis.spectral.ApproximationReport`
+    quality gates (dense spectral certificate, quadratic-form and
+    resistance probes, connectivity); ``resistances`` is the
+    probe-pair certificate whose inner solves were routed through the
+    blocked solver stack with ``solver`` — ``stats`` records those
+    solves' iteration counts and any degradation-ladder fallbacks.
+    """
+
+    report: ApproximationReport
+    resistances: ResistanceCertificate
+    solver: str
+    stats: ResistanceSolveStats
+    batches_ingested: int
+    reference_edges: int
+
+    def holds(self, epsilon: float, slack: float = 1e-7) -> bool:
+        """True when both certificates are consistent with ``(1 ± eps)``."""
+        return self.report.certificate.holds(epsilon, slack=slack) and self.resistances.holds(
+            epsilon, slack=slack
+        )
+
+
+class StreamingSparsifier:
+    """Ingest edge batches, keep a sparsifier-sized state, snapshot on demand.
+
+    Parameters
+    ----------
+    num_vertices:
+        Vertex count of the streamed graph (fixed up front).
+    epsilon:
+        Target quality for sizing the bundle (default ``config.epsilon``).
+    t / k:
+        Bundle size and Baswana–Sen parameter; default to the config's
+        sizing (``config.bundle_size`` / ``config.spanner_k``).
+    config:
+        :class:`~repro.core.config.SparsifierConfig` supplying the
+        sampling probability, execution backend and default solver.
+    seed:
+        Integer stream seed (a ``numpy`` Generator is accepted and
+        collapsed to one draw; ``None`` draws fresh OS entropy).  The
+        whole stream is deterministic given the seed and the batch
+        sequence.
+    window:
+        Keep only edges from the last ``window`` ingest batches
+        (``None`` = cumulative).
+    decay:
+        Exponential weight decay per batch in ``(0, 1]``; an edge from
+        batch ``a`` weighs ``w * decay**(b - a)`` at current batch ``b``.
+    compaction_interval:
+        Ingested edges per compaction block (default
+        ``max(4096, 2 * num_vertices)``).  Compaction points depend only
+        on the cumulative count, which is what makes snapshots invariant
+        to batch splits.
+    kout_presample:
+        When set, ingest batches carrying more than ``kout_presample *
+        num_vertices`` edges are first reduced by a random k-out sample
+        with Horvitz–Thompson reweighting
+        (:mod:`repro.graphs.kout`) — the ultra-cheap dense-burst guard.
+    journal:
+        Path to a :class:`~repro.streaming.journal.StreamJournal`; every
+        batch is appended *before* processing, so a crash loses at most
+        one batch.  Use :meth:`resume` to pick a journal back up.
+    failure_policy:
+        :class:`~repro.parallel.failure.FailurePolicy` governing the
+        compaction work (``raise`` / ``retry``; ``collect`` is rejected —
+        a stream cannot skip a compaction without diverging).
+    track_exact:
+        Keep the exact live edge list so :meth:`certify` can measure the
+        snapshot against ground truth (default True; costs O(stream)
+        memory — disable for unbounded production streams and pass your
+        own reference to the certification layer).
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        *,
+        epsilon: Optional[float] = None,
+        t: Optional[int] = None,
+        k: Optional[int] = None,
+        config: Optional[SparsifierConfig] = None,
+        seed: Any = 0,
+        window: Optional[int] = None,
+        decay: Optional[float] = None,
+        compaction_interval: Optional[int] = None,
+        kout_presample: Optional[int] = None,
+        journal: Optional[Union[str, Path]] = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        track_exact: bool = True,
+        sampling_probability: Optional[float] = None,
+    ) -> None:
+        if num_vertices < 0:
+            raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
+        self._n = int(num_vertices)
+        self._config = config if config is not None else SparsifierConfig()
+        if self._config.use_tree_bundle:
+            raise StreamingError(
+                "streaming ingestion maintains spanner bundles; "
+                "use_tree_bundle is not supported"
+            )
+        eps = self._config.epsilon if epsilon is None else float(epsilon)
+        self._epsilon = eps
+        self._t = int(t) if t is not None else self._config.bundle_size(self._n, eps)
+        if self._t < 1:
+            raise GraphError(f"bundle size t must be >= 1, got {self._t}")
+        self._k = None if k is None and self._config.spanner_k is None else int(
+            k if k is not None else self._config.spanner_k
+        )
+        self._p = float(
+            self._config.sampling_probability
+            if sampling_probability is None
+            else sampling_probability
+        )
+        if not 0 < self._p < 1:
+            raise StreamingError(
+                f"sampling probability must lie in (0, 1), got {self._p}"
+            )
+        self._seed = self._normalize_seed(seed)
+        if window is not None and int(window) < 1:
+            raise StreamingError(f"window must be >= 1 batches, got {window}")
+        self._window = None if window is None else int(window)
+        if decay is not None and not 0 < float(decay) <= 1:
+            raise StreamingError(f"decay must lie in (0, 1], got {decay}")
+        self._decay = None if decay is None or float(decay) == 1.0 else float(decay)
+        if compaction_interval is None:
+            compaction_interval = max(4096, 2 * self._n)
+        if int(compaction_interval) < 1:
+            raise StreamingError(
+                f"compaction_interval must be >= 1, got {compaction_interval}"
+            )
+        self._interval = int(compaction_interval)
+        if kout_presample is not None and int(kout_presample) < 1:
+            raise StreamingError(
+                f"kout_presample must be >= 1, got {kout_presample}"
+            )
+        self._kout = None if kout_presample is None else int(kout_presample)
+        if failure_policy is not None and failure_policy.on_error == "collect":
+            raise StreamingError(
+                "a stream cannot skip a failed compaction without diverging; "
+                'use on_error="raise" or "retry"'
+            )
+        self._failure_policy = failure_policy
+        self._track_exact = bool(track_exact)
+
+        empty_i = np.array([], dtype=np.int64)
+        empty_f = np.array([], dtype=np.float64)
+        # Retained state: bundle edges at base weight plus sampled
+        # survivors at boosted weight, each tagged with its arrival batch.
+        self._ret_u, self._ret_v = empty_i, empty_i.copy()
+        self._ret_w, self._ret_b = empty_f, empty_i.copy()
+        # Pending buffer: ingested edges not yet consumed by a compaction.
+        self._pen_u, self._pen_v = empty_i.copy(), empty_i.copy()
+        self._pen_w, self._pen_b = empty_f.copy(), empty_i.copy()
+        self._exact: List[Tuple[int, np.ndarray, np.ndarray, np.ndarray]] = []
+        self._batch_sizes: List[int] = []
+        self._batches_ingested = 0
+        self._edges_ingested = 0
+        self._compactions = 0
+        self._evicted = 0
+        self._presampled_away = 0
+        self._ingest_seconds = 0.0
+        self.records: List[CompactionRecord] = []
+        self._replaying = False
+
+        self._journal: Optional[StreamJournal] = None
+        if journal is not None:
+            path = Path(journal)
+            if path.exists() and path.stat().st_size > 0:
+                raise CheckpointError(
+                    f"stream journal {path} already has content; use "
+                    "StreamingSparsifier.resume() to continue it or pass a "
+                    "fresh path"
+                )
+            self._journal = StreamJournal(path, self._journal_params())
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _normalize_seed(seed: Any) -> int:
+        if isinstance(seed, np.random.Generator):
+            # Batch fan-outs hand methods pre-split generators; collapse
+            # to one draw so the stream stays journal-able as an int.
+            return int(seed.integers(0, 2**63 - 1))
+        if seed is None:
+            return int(np.random.SeedSequence().entropy % (2**63))
+        return int(seed)
+
+    def _journal_params(self) -> Dict[str, Any]:
+        return {
+            "num_vertices": self._n,
+            "t": self._t,
+            "k": self._k,
+            "sampling_probability": self._p,
+            "seed": self._seed,
+            "window": self._window,
+            "decay": self._decay,
+            "compaction_interval": self._interval,
+            "kout_presample": self._kout,
+        }
+
+    @classmethod
+    def resume(
+        cls,
+        journal: Union[str, Path],
+        *,
+        config: Optional[SparsifierConfig] = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        track_exact: bool = True,
+    ) -> "StreamingSparsifier":
+        """Rebuild a crashed stream from its journal, bit-exactly.
+
+        Reads the journal header (which pins every parameter the state
+        depends on), replays the journaled batches through a fresh
+        sparsifier, and re-attaches the journal so subsequent ``ingest``
+        calls continue appending to it.  ``config`` only supplies
+        *execution* knobs (backend, workers, default solver); the
+        algorithmic parameters come from the header.
+        """
+        params, batches = StreamJournal.load(journal)
+        stream = cls(
+            params["num_vertices"],
+            t=params["t"],
+            k=params["k"],
+            sampling_probability=params["sampling_probability"],
+            seed=params["seed"],
+            window=params["window"],
+            decay=params["decay"],
+            compaction_interval=params["compaction_interval"],
+            kout_presample=params["kout_presample"],
+            config=config,
+            failure_policy=failure_policy,
+            track_exact=track_exact,
+        )
+        stream._replaying = True
+        try:
+            for _, u, v, w in batches:
+                stream.ingest(np.column_stack([u, v]), w)
+        finally:
+            stream._replaying = False
+        stream._journal = StreamJournal(journal, stream._journal_params())
+        return stream
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    @property
+    def t(self) -> int:
+        return self._t
+
+    @property
+    def batches_ingested(self) -> int:
+        return self._batches_ingested
+
+    @property
+    def edges_ingested(self) -> int:
+        return self._edges_ingested
+
+    @property
+    def compactions(self) -> int:
+        return self._compactions
+
+    @property
+    def pending_edges(self) -> int:
+        return int(self._pen_u.shape[0])
+
+    @property
+    def retained_edges(self) -> int:
+        return int(self._ret_u.shape[0])
+
+    @property
+    def live_input_edges(self) -> int:
+        """Exact edges currently in scope (window-aware, pre-presampling)."""
+        if self._window is None:
+            return self._edges_ingested
+        return int(sum(self._batch_sizes[-self._window:]))
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+
+    def ingest(self, edges: Any, weights: Any = None) -> IngestRecord:
+        """Fold one batch of edges into the stream.
+
+        ``edges`` is an ``(m, 2)`` integer array of endpoints (any
+        orientation; self-loops rejected) or an ``(m, 3)`` array with
+        weights in the third column; ``weights`` optionally supplies the
+        weights separately (default 1.0).  Returns an
+        :class:`IngestRecord` describing what the call did.
+        """
+        u, v, w = self._validate_batch(edges, weights)
+        batch = self._batches_ingested
+        if self._journal is not None and not self._replaying:
+            self._journal.append_batch(batch, u, v, w)
+        start = time.perf_counter()
+        self._batches_ingested += 1
+        self._batch_sizes.append(int(u.shape[0]))
+        self._edges_ingested += int(u.shape[0])
+        if self._track_exact:
+            self._exact.append((batch, u, v, w))
+        evicted = self._evict_expired(batch)
+
+        pu, pv, pw = u, v, w
+        if self._kout is not None and u.shape[0] > self._kout * max(self._n, 1):
+            pu, pv, pw = self._presample(batch, u, v, w)
+            self._presampled_away += int(u.shape[0] - pu.shape[0])
+        self._pen_u = np.concatenate([self._pen_u, pu])
+        self._pen_v = np.concatenate([self._pen_v, pv])
+        self._pen_w = np.concatenate([self._pen_w, pw])
+        self._pen_b = np.concatenate(
+            [self._pen_b, np.full(pu.shape[0], batch, dtype=np.int64)]
+        )
+
+        compactions_run = 0
+        while self._pen_u.shape[0] >= self._interval:
+            self._compact(self._interval)
+            compactions_run += 1
+        self._ingest_seconds += time.perf_counter() - start
+        return IngestRecord(
+            batch_index=batch,
+            edges=int(u.shape[0]),
+            edges_after_presample=int(pu.shape[0]),
+            compactions_run=compactions_run,
+            evicted_edges=evicted,
+        )
+
+    def flush(self) -> Optional[CompactionRecord]:
+        """Force-compact the pending buffer (one pass over the tail).
+
+        Consumes the next compaction index, so — unlike plain ingestion —
+        the resulting state depends on *when* flush was called.  Returns
+        the compaction record, or ``None`` when nothing was pending.
+        """
+        if self._pen_u.shape[0] == 0:
+            return None
+        self._compact(int(self._pen_u.shape[0]))
+        return self.records[-1]
+
+    def _validate_batch(
+        self, edges: Any, weights: Any
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        arr = np.asarray(edges)
+        if arr.size == 0:  # an empty batch still advances the batch index
+            arr = arr.reshape(0, 2)
+        if arr.ndim != 2 or arr.shape[1] not in (2, 3):
+            raise GraphError(
+                "ingest expects an (m, 2) [u v] or (m, 3) [u v w] edge array, "
+                f"got shape {arr.shape}"
+            )
+        if arr.shape[1] == 3:
+            if weights is not None:
+                raise GraphError(
+                    "weights passed both inside the edge array and separately"
+                )
+            weights = arr[:, 2]
+        u_raw, v_raw = arr[:, 0], arr[:, 1]
+        u = np.asarray(u_raw, dtype=np.int64)
+        v = np.asarray(v_raw, dtype=np.int64)
+        if not (np.array_equal(u, u_raw) and np.array_equal(v, v_raw)):
+            raise GraphError("edge endpoints must be integers")
+        m = u.shape[0]
+        if weights is None:
+            w = np.ones(m, dtype=np.float64)
+        else:
+            w = np.asarray(weights, dtype=np.float64)
+            if w.shape != (m,):
+                raise GraphError(
+                    f"weights must have shape ({m},), got {w.shape}"
+                )
+        if m == 0:
+            return u, v, w.astype(np.float64)
+        if u.min(initial=0) < 0 or v.min(initial=0) < 0 or max(
+            u.max(initial=-1), v.max(initial=-1)
+        ) >= self._n:
+            raise GraphError(
+                f"edge endpoints must lie in [0, {self._n}); got values outside"
+            )
+        if np.any(u == v):
+            raise GraphError("self-loops are not allowed in ingested batches")
+        if not np.all(np.isfinite(w)) or np.any(w <= 0):
+            raise GraphError("edge weights must be finite and positive")
+        return np.minimum(u, v), np.maximum(u, v), w
+
+    def _presample(
+        self, batch: int, u: np.ndarray, v: np.ndarray, w: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """k-out reduce a dense burst, Horvitz–Thompson reweighted."""
+        rng = _presample_rng(self._seed, batch)
+        kept = k_out_select(self._n, u, v, self._kout, rng)
+        probabilities = k_out_keep_probabilities(self._n, u, v, self._kout)
+        return u[kept], v[kept], w[kept] / probabilities[kept]
+
+    def _evict_expired(self, batch: int) -> int:
+        """Drop state/reference edges outside the sliding window."""
+        if self._window is None:
+            return 0
+        horizon = batch - self._window  # live: batch id > horizon
+        evicted = 0
+        ret_mask = self._ret_b > horizon
+        if not ret_mask.all():
+            evicted += int(ret_mask.shape[0] - ret_mask.sum())
+            self._ret_u = self._ret_u[ret_mask]
+            self._ret_v = self._ret_v[ret_mask]
+            self._ret_w = self._ret_w[ret_mask]
+            self._ret_b = self._ret_b[ret_mask]
+        pen_mask = self._pen_b > horizon
+        if not pen_mask.all():
+            evicted += int(pen_mask.shape[0] - pen_mask.sum())
+            self._pen_u = self._pen_u[pen_mask]
+            self._pen_v = self._pen_v[pen_mask]
+            self._pen_w = self._pen_w[pen_mask]
+            self._pen_b = self._pen_b[pen_mask]
+        if self._track_exact and self._exact:
+            self._exact = [rec for rec in self._exact if rec[0] > horizon]
+        self._evicted += evicted
+        return evicted
+
+    def _effective_weights(self, w: np.ndarray, batch_ids: np.ndarray) -> np.ndarray:
+        """Apply lazy exponential decay relative to the latest batch."""
+        if self._decay is None or w.shape[0] == 0:
+            return w
+        now = self._batches_ingested - 1
+        return w * np.power(self._decay, (now - batch_ids).astype(np.float64))
+
+    def _compact(self, take: int) -> None:
+        """Fold the earliest ``take`` pending edges into the retained state."""
+        work_u = np.concatenate([self._ret_u, self._pen_u[:take]])
+        work_v = np.concatenate([self._ret_v, self._pen_v[:take]])
+        work_w = np.concatenate([self._ret_w, self._pen_w[:take]])
+        work_b = np.concatenate([self._ret_b, self._pen_b[:take]])
+        self._pen_u = self._pen_u[take:]
+        self._pen_v = self._pen_v[take:]
+        self._pen_w = self._pen_w[take:]
+        self._pen_b = self._pen_b[take:]
+
+        eff_w = self._effective_weights(work_w, work_b)
+        if self._decay is not None:
+            alive = eff_w > 0.0  # underflowed weights are numerically dead
+            if not alive.all():
+                self._evicted += int(alive.shape[0] - alive.sum())
+                work_u, work_v = work_u[alive], work_v[alive]
+                work_w, work_b = work_w[alive], work_b[alive]
+                eff_w = eff_w[alive]
+
+        index = self._compactions
+        shared = {
+            "seed": self._seed,
+            "num_vertices": self._n,
+            "u": work_u,
+            "v": work_v,
+            "w": eff_w,  # selection sees decayed weights; state keeps base
+            "t": self._t,
+            "k": self._k,
+            "p": self._p,
+        }
+        backend = self._config.execution_backend()
+        result = backend.map(
+            _compaction_worker, [index], shared=shared, policy=self._failure_policy
+        )[0]
+
+        bundle = result["bundle"]
+        kept = result["kept"]
+        multiplier = 1.0 / self._p
+        self._ret_u = np.concatenate([work_u[bundle], work_u[kept]])
+        self._ret_v = np.concatenate([work_v[bundle], work_v[kept]])
+        self._ret_w = np.concatenate([work_w[bundle], work_w[kept] * multiplier])
+        self._ret_b = np.concatenate([work_b[bundle], work_b[kept]])
+        self._compactions += 1
+        self.records.append(
+            CompactionRecord(
+                index=index,
+                working_edges=int(work_u.shape[0]),
+                bundle_edges=int(bundle.shape[0]),
+                kept_edges=int(kept.shape[0]),
+                outside_edges=int(result["outside"]),
+                components_built=int(result["built"]),
+                exhausted=bool(result["exhausted"]),
+                bundle_indices=bundle,
+                kept_indices=kept,
+            )
+        )
+
+    # ------------------------------------------------------------------ #
+    # Snapshot / certification
+    # ------------------------------------------------------------------ #
+
+    def _live_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        u = np.concatenate([self._ret_u, self._pen_u])
+        v = np.concatenate([self._ret_v, self._pen_v])
+        w = self._effective_weights(
+            np.concatenate([self._ret_w, self._pen_w]),
+            np.concatenate([self._ret_b, self._pen_b]),
+        )
+        if self._decay is not None and w.shape[0]:
+            alive = w > 0.0
+            u, v, w = u[alive], v[alive], w[alive]
+        return u, v, w
+
+    def _stats(self) -> StreamStats:
+        return StreamStats(
+            batches_ingested=self._batches_ingested,
+            edges_ingested=self._edges_ingested,
+            live_input_edges=self.live_input_edges,
+            retained_edges=self.retained_edges,
+            pending_edges=self.pending_edges,
+            compactions=self._compactions,
+            evicted_edges=self._evicted,
+            presampled_away=self._presampled_away,
+            ingest_seconds=self._ingest_seconds,
+        )
+
+    def snapshot(self) -> StreamSnapshot:
+        """Materialise the current sparsifier (pure: does not mutate state).
+
+        The graph holds the retained state plus pending edges; repeated
+        snapshots without intervening ``ingest`` calls are identical, and
+        in the default (unwindowed, undecayed, unpresampled) mode the
+        snapshot after a given edge sequence is bit-identical no matter
+        how the sequence was split into batches.
+        """
+        u, v, w = self._live_arrays()
+        graph = Graph._from_trusted(self._n, u, v, w)
+        stats = self._stats()
+        unified = UnifiedResult(
+            method="streaming",
+            sparsifier=graph,
+            input_edges=self.live_input_edges,
+            output_edges=graph.num_edges,
+            wall_time_seconds=self._ingest_seconds,
+            native=stats,
+        )
+        return StreamSnapshot(graph=graph, unified=unified, stats=stats)
+
+    def reference_graph(self) -> Graph:
+        """The exact live graph (window/decay applied) — certification ground truth."""
+        if not self._track_exact:
+            raise StreamingError(
+                "this stream was built with track_exact=False, so the exact "
+                "reference graph is gone; pass your own original graph to the "
+                "certification layer instead"
+            )
+        if not self._exact:
+            return Graph.empty(self._n)
+        u = np.concatenate([rec[1] for rec in self._exact])
+        v = np.concatenate([rec[2] for rec in self._exact])
+        w = np.concatenate([rec[3] for rec in self._exact])
+        b = np.concatenate(
+            [np.full(rec[1].shape[0], rec[0], dtype=np.int64) for rec in self._exact]
+        )
+        w = self._effective_weights(w, b)
+        if self._decay is not None and w.shape[0]:
+            alive = w > 0.0
+            u, v, w = u[alive], v[alive], w[alive]
+        return Graph._from_trusted(self._n, u, v, w)
+
+    def certify(
+        self,
+        *,
+        num_pairs: int = 16,
+        num_vectors: int = 32,
+        seed: Any = 0,
+        solver: Optional[str] = None,
+        snapshot: Optional[StreamSnapshot] = None,
+    ) -> StreamCertificate:
+        """Measure the current snapshot against the exact live graph.
+
+        Runs the full :func:`~repro.analysis.spectral.approximation_report`
+        quality gates plus a probe-pair resistance certificate whose
+        inner Laplacian solves are routed through the blocked solver
+        stack (``solver="cg"|"chain"|"auto"``, default the config's);
+        the returned certificate carries the
+        :class:`~repro.resistance.solver_select.ResistanceSolveStats` so
+        degraded solves are auditable.
+        """
+        reference = self.reference_graph()
+        snap = snapshot if snapshot is not None else self.snapshot()
+        chosen = self._config.solver if solver is None else solver
+        stats = ResistanceSolveStats(solver=chosen)
+        report = approximation_report(
+            reference,
+            snap.graph,
+            num_vectors=num_vectors,
+            num_pairs=num_pairs,
+            seed=seed,
+        )
+        resistances = certify_resistances(
+            reference,
+            snap.graph,
+            num_pairs=num_pairs,
+            seed=seed,
+            solver=chosen,
+            stats=stats,
+        )
+        return StreamCertificate(
+            report=report,
+            resistances=resistances,
+            solver=chosen,
+            stats=stats,
+            batches_ingested=self._batches_ingested,
+            reference_edges=reference.num_edges,
+        )

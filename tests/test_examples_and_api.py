@@ -78,6 +78,7 @@ class TestPublicAPI:
         "distributed_sparsification.py",
         "sdd_solver_demo.py",
         "image_affinity_sparsification.py",
+        "streaming_sparsification.py",
     ],
 )
 def test_example_scripts_run(script, capsys):

@@ -1,0 +1,111 @@
+"""Random k-out sampling (repro.graphs.kout) and its registry method."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import GraphError
+from repro.graphs import generators as gen
+from repro.graphs.connectivity import is_connected
+from repro.graphs.graph import Graph
+from repro.graphs.kout import (
+    default_k_out,
+    k_out_keep_probabilities,
+    k_out_select,
+    random_k_out_sample,
+)
+
+
+class TestKOutSelect:
+    def test_deterministic_per_seed(self):
+        graph = gen.erdos_renyi_graph(120, 0.2, seed=3)
+        a = random_k_out_sample(graph, k=3, seed=11)
+        b = random_k_out_sample(graph, k=3, seed=11)
+        c = random_k_out_sample(graph, k=3, seed=12)
+        assert np.array_equal(a.kept_indices, b.kept_indices)
+        assert not np.array_equal(a.kept_indices, c.kept_indices)
+
+    def test_every_vertex_keeps_min_k_deg_incident_edges(self):
+        graph = gen.erdos_renyi_graph(90, 0.1, seed=5)
+        k = 2
+        kept = k_out_select(
+            graph.num_vertices, graph.edge_u, graph.edge_v, k, np.random.default_rng(0)
+        )
+        degrees = np.bincount(
+            np.concatenate([graph.edge_u, graph.edge_v]), minlength=graph.num_vertices
+        )
+        kept_degrees = np.bincount(
+            np.concatenate([graph.edge_u[kept], graph.edge_v[kept]]),
+            minlength=graph.num_vertices,
+        )
+        # Each vertex picks min(k, deg) edges itself; its other endpoint's
+        # picks can only add to that.
+        assert np.all(kept_degrees >= np.minimum(degrees, k))
+
+    def test_kept_indices_sorted_unique_and_k_exceeding_degree_keeps_all(self):
+        graph = gen.cycle_graph(30)
+        result = random_k_out_sample(graph, k=10, seed=1)
+        assert np.array_equal(result.kept_indices, np.unique(result.kept_indices))
+        # Every vertex has degree 2 < k, so every edge is picked by both ends.
+        assert result.output_edges == graph.num_edges
+
+    def test_empty_graph_and_bad_k(self):
+        empty = Graph.empty(5)
+        result = random_k_out_sample(empty, k=2, seed=0)
+        assert result.output_edges == 0
+        with pytest.raises(GraphError, match="k must be >= 1"):
+            k_out_select(5, empty.edge_u, empty.edge_v, 0, np.random.default_rng(0))
+
+    def test_default_k_is_log2_n(self):
+        assert default_k_out(1024) == 10
+        assert default_k_out(2) == 1
+
+    def test_log_k_preserves_connectivity(self):
+        for seed in range(5):
+            graph = gen.erdos_renyi_graph(200, 0.08, seed=seed, ensure_connected=True)
+            result = random_k_out_sample(graph, seed=seed)
+            assert is_connected(result.sparsifier)
+
+
+class TestHorvitzThompsonReweighting:
+    def test_keep_probabilities_formula(self):
+        graph = gen.star_graph(10)  # center degree 9, leaves degree 1
+        probs = k_out_keep_probabilities(
+            graph.num_vertices, graph.edge_u, graph.edge_v, k=3
+        )
+        p_center, p_leaf = 3 / 9, 1.0
+        assert np.allclose(probs, p_center + p_leaf - p_center * p_leaf)
+
+    def test_total_weight_unbiased_over_seeds(self):
+        """HT reweighting makes the expected total weight match the input."""
+        graph = gen.erdos_renyi_graph(60, 0.25, seed=7, weight_range=(0.5, 2.0))
+        totals = [
+            random_k_out_sample(graph, k=3, seed=s).sparsifier.total_weight
+            for s in range(200)
+        ]
+        assert np.mean(totals) == pytest.approx(graph.total_weight, rel=0.02)
+
+    def test_reweight_false_keeps_original_weights(self):
+        graph = gen.erdos_renyi_graph(50, 0.3, seed=2, weight_range=(0.5, 2.0))
+        result = random_k_out_sample(graph, k=2, seed=3, reweight=False)
+        assert np.array_equal(
+            result.sparsifier.edge_weights, graph.edge_weights[result.kept_indices]
+        )
+
+
+class TestKOutRegistryMethod:
+    def test_registered_and_reduces_dense_graph(self):
+        assert "k-out" in repro.available_methods()
+        graph = gen.erdos_renyi_graph(150, 0.4, seed=9, ensure_connected=True)
+        result = repro.sparsify(graph, method="k-out", seed=4)
+        assert result.method == "k-out"
+        assert 0 < result.output_edges < result.input_edges
+        assert is_connected(result.sparsifier)
+
+    def test_alias_and_options_forwarded(self):
+        graph = gen.erdos_renyi_graph(80, 0.3, seed=1)
+        by_alias = repro.sparsify(graph, method="kout", seed=5, k=2)
+        direct = random_k_out_sample(graph, k=2, seed=5)
+        assert np.array_equal(by_alias.sparsifier.edge_weights, direct.sparsifier.edge_weights)
