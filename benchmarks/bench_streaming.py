@@ -13,6 +13,12 @@ Two questions, measured on the same workloads:
   :func:`repro.analysis.spectral.approximation_report` against the exact
   input, and the snapshot's edge count is compared to the batch
   sparsifier's.
+* **Resume cost** — what does crash recovery cost with snapshots versus
+  replaying the whole journal?  The same stream is run twice against a
+  :class:`repro.streaming.StreamStateStore` (snapshot cadence on / off)
+  and ``recover()`` is timed on both; the JSON records the wall-clock
+  *and* the read accounting (batches restored vs replayed), which is the
+  claim that matters — snapshots bound replay to the recent suffix.
 
 Workloads are the scenario matrix of the other benchmarks (banded /
 power-law / Erdős–Rényi) streamed in fixed-size batches.  One parity row
@@ -35,6 +41,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
@@ -46,7 +53,7 @@ from repro.core.config import SparsifierConfig
 from repro.core.sample import parallel_sample
 from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
-from repro.streaming import StreamingSparsifier
+from repro.streaming import StreamingSparsifier, StreamStateStore
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 RESULT_PATH = REPO_ROOT / "BENCH_streaming.json"
@@ -127,6 +134,54 @@ def run_case(scenario: str, n: int, batch_size: int, certify: bool) -> dict:
     return row
 
 
+def resume_cost_case(n: int, batch_size: int, snapshot_every: int) -> dict:
+    """Recovery cost with snapshots vs full-journal replay, same stream."""
+    graph = build_graph("banded", n)
+    edges = np.column_stack([graph.edge_u, graph.edge_v])
+    results: dict = {"n": graph.num_vertices, "m": graph.num_edges}
+    with tempfile.TemporaryDirectory() as tmp:
+        for label, cadence in (
+            ("with_snapshots", snapshot_every),
+            ("journal_only", None),
+        ):
+            path = Path(tmp) / label
+            stream = StreamingSparsifier(
+                graph.num_vertices,
+                seed=SEED,
+                compaction_interval=max(batch_size, 2 * graph.num_vertices),
+                store=path,
+                snapshot_every=cadence,
+                segment_bytes=64 * 1024,
+            )
+            for lo in range(0, graph.num_edges, batch_size):
+                stream.ingest(
+                    edges[lo : lo + batch_size],
+                    graph.edge_weights[lo : lo + batch_size],
+                )
+            start = time.perf_counter()
+            _, report = StreamStateStore.recover(path)
+            seconds = time.perf_counter() - start
+            assert report.bit_exact, f"resume-cost recovery not bit-exact ({label})"
+            results[label] = {
+                "batches": stream.batches_ingested,
+                "batches_restored": report.batches_restored,
+                "batches_replayed": report.batches_replayed,
+                "segments_skipped": report.segments_skipped,
+                "recover_seconds": round(seconds, 4),
+            }
+    snap, full = results["with_snapshots"], results["journal_only"]
+    # The read accounting IS the guarantee: a snapshot-backed recovery
+    # must replay strictly fewer batches than full-journal replay.
+    assert snap["batches_replayed"] < full["batches_replayed"], (
+        f"snapshots did not bound replay: {snap['batches_replayed']} vs "
+        f"{full['batches_replayed']} batches"
+    )
+    results["replay_reduction"] = round(
+        1.0 - snap["batches_replayed"] / max(full["batches_replayed"], 1), 3
+    )
+    return results
+
+
 def check_parity(graph: Graph) -> bool:
     """One-compaction stream must equal the batch sampler bit for bit."""
     config = SparsifierConfig()
@@ -182,6 +237,18 @@ def main() -> None:
     parity = check_parity(build_graph("banded", 150))
     assert parity, "one-compaction stream drifted from the batch sampler"
 
+    # Cadences deliberately do not divide the batch count, so the
+    # snapshot-backed recovery still replays a real (short) suffix.
+    if args.smoke:
+        resume_cost = resume_cost_case(200, 150, snapshot_every=3)
+    else:
+        resume_cost = resume_cost_case(2000, 1000, snapshot_every=5)
+    print(
+        f"resume cost: {resume_cost['with_snapshots']['batches_replayed']} batches "
+        f"replayed with snapshots vs {resume_cost['journal_only']['batches_replayed']} "
+        f"journal-only ({resume_cost['replay_reduction']:.0%} reduction)"
+    )
+
     assert_speedup = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1"
     if assert_speedup and not args.smoke:
         # Streaming must beat per-batch re-sampling wherever >= 4 batches
@@ -199,6 +266,7 @@ def main() -> None:
         "smoke": args.smoke,
         "speedup_asserted": assert_speedup and not args.smoke,
         "batch_parity": parity,
+        "resume_cost": resume_cost,
         "results": rows,
     }
     out_path.write_text(json.dumps(payload, indent=2) + "\n")

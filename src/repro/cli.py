@@ -35,7 +35,14 @@ Subcommands
     a bare array of ``[u, v]`` / ``[u, v, w]`` edges; ``-`` reads from
     stdin.  ``--journal`` makes the stream crash-resumable
     (``--resume`` picks it back up, replaying journaled batches before
-    ingesting any new input).
+    ingesting any new input); ``--store`` upgrades the journal to a full
+    durable state store with ``--snapshot-every`` checksummed snapshots,
+    so resume replays only the post-snapshot suffix.
+``recover``
+    Walk the recovery ladder of a ``--store`` directory after a crash —
+    snapshot, journal suffix, valid-prefix salvage — print the
+    :class:`~repro.streaming.RecoveryReport`, and exit 0 when the
+    restored state is bit-exact (1 when recovered but lossy).
 
 ``sparsify`` / ``batch`` accept ``--backend`` / ``--workers`` /
 ``--shards`` to choose where the work executes; backends never change the
@@ -259,13 +266,30 @@ def build_parser() -> argparse.ArgumentParser:
                         help="ingested edges per compaction block (default max(4096, 2n))")
     stream.add_argument("--kout-presample", type=int, default=None, metavar="K",
                         help="k-out presample ingest batches larger than K * n edges")
-    stream.add_argument("--journal", default=None, metavar="FILE.jsonl",
+    stream.add_argument("--levels", type=int, default=None,
+                        help="LSM-style retained levels (default 1 = classic single pool)")
+    stream.add_argument("--journal", default=None, metavar="DIR",
                         help="journal every batch before processing (crash-resumable)")
+    stream.add_argument("--store", default=None, metavar="DIR",
+                        help="durable state store (journal + checksummed snapshots); "
+                             "with --resume, recovers via the snapshot/salvage ladder")
+    stream.add_argument("--snapshot-every", type=int, default=None, metavar="N",
+                        help="with --store: snapshot state every N ingested batches and "
+                             "truncate journal segments the snapshots cover")
     stream.add_argument("--resume", action="store_true",
-                        help="resume the stream recorded in --journal before reading input")
+                        help="resume the stream recorded in --journal or --store "
+                             "before reading input")
     stream.add_argument("--certify-resistances", type=int, default=None, metavar="PAIRS",
                         help="certify the snapshot against the exact live graph over "
                              "PAIRS probe pairs via the blocked multi-RHS solver")
+
+    recover = subparsers.add_parser(
+        "recover",
+        help="walk the recovery ladder of a stream state store and report the outcome",
+    )
+    recover.add_argument("store", help="stream state store directory (journal/ + snapshots/)")
+    recover.add_argument("--output", default=None, metavar="FILE",
+                         help="also write the recovered snapshot as an edge list")
     return parser
 
 
@@ -431,10 +455,22 @@ def _run_stream(args: argparse.Namespace) -> int:
     from repro.streaming import StreamingSparsifier
 
     config = SparsifierConfig(solver=args.solver) if args.solver else None
+    if args.journal and args.store:
+        raise ReproError("pass either --journal or --store, not both")
+    if args.snapshot_every is not None and not args.store:
+        raise ReproError("--snapshot-every requires --store")
     if args.resume:
-        if not args.journal:
-            raise ReproError("--resume needs --journal pointing at the stream's journal")
-        stream = StreamingSparsifier.resume(args.journal, config=config)
+        if args.store:
+            stream, report = StreamingSparsifier.recover(
+                args.store, config=config, snapshot_every=args.snapshot_every
+            )
+            print(report.summary())
+        elif args.journal:
+            stream = StreamingSparsifier.resume(args.journal, config=config)
+        else:
+            raise ReproError(
+                "--resume needs --journal or --store pointing at the stream's state"
+            )
         print(f"resumed: {stream.batches_ingested} batches, "
               f"{stream.edges_ingested} edges, {stream.compactions} compactions")
     else:
@@ -451,7 +487,10 @@ def _run_stream(args: argparse.Namespace) -> int:
             decay=args.decay,
             compaction_interval=args.compaction_interval,
             kout_presample=args.kout_presample,
+            levels=args.levels,
             journal=args.journal,
+            store=args.store,
+            snapshot_every=args.snapshot_every,
         )
     if args.input is not None:
         handle = sys.stdin if args.input == "-" else open(args.input, encoding="utf-8")
@@ -501,6 +540,19 @@ def _run_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_recover(args: argparse.Namespace) -> int:
+    from repro.streaming import StreamingSparsifier
+
+    stream, report = StreamingSparsifier.recover(args.store)
+    print(report.summary())
+    if args.output:
+        snapshot = stream.snapshot()
+        write_edge_list(snapshot.graph, args.output)
+        print(f"snapshot: m={snapshot.num_edges} -> {args.output}")
+    # Exit status mirrors the headline: 0 bit-exact, 1 recovered-but-lossy.
+    return 0 if report.bit_exact else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
@@ -515,6 +567,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_spanner(args)
     if args.command == "stream":
         return _run_stream(args)
+    if args.command == "recover":
+        return _run_recover(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -40,12 +40,95 @@ from repro.parallel.metrics import PRAMCost
 
 __all__ = [
     "BatchJournal",
+    "DurableIO",
+    "DEFAULT_IO",
     "batch_graph_digest",
     "edge_array_digest",
+    "fsync_directory",
     "read_journal_records",
 ]
 
 _JOURNAL_VERSION = 1
+
+
+def fsync_directory(path: Union[str, Path]) -> None:
+    """Fsync a directory so entry creations/renames inside it are durable.
+
+    Writing and fsyncing a *file* makes its bytes durable, but the file's
+    very existence lives in the parent directory's entry list — a crash
+    between the file fsync and the directory fsync can lose the whole
+    file.  Every create/rotate/rename in the durability layer is followed
+    by this call.  Platforms whose directory handles reject fsync (some
+    network filesystems, Windows) degrade gracefully.
+    """
+    try:
+        fd = os.open(str(path), os.O_RDONLY)
+    except OSError:
+        return  # e.g. O_RDONLY on a directory unsupported: best effort
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+class DurableIO:
+    """The filesystem mutation surface of the durability layer.
+
+    Every write the journals, snapshots and state store perform goes
+    through one of these methods, which gives the crash-consistency
+    torture harness (:class:`repro.testing.faults.CrashPointIO`) a single
+    seam to kill the process at — or tear a write in half — at every
+    possible point.  The default instance (:data:`DEFAULT_IO`) performs
+    real, fsync'd filesystem operations.
+
+    Reads are *not* routed through here: a crash cannot corrupt a read,
+    and recovery must be able to read whatever survived.
+    """
+
+    def mkdir(self, path: Union[str, Path]) -> None:
+        """Create a directory (parents included), then fsync its parent."""
+        path = Path(path)
+        existed = path.is_dir()
+        path.mkdir(parents=True, exist_ok=True)
+        if not existed:
+            fsync_directory(path.parent)
+
+    def append_line(self, path: Union[str, Path], text: str) -> None:
+        """Append one line (with trailing newline) and fsync the file."""
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def write_bytes(self, path: Union[str, Path], data: bytes) -> None:
+        """Write a whole file and fsync it (no rename — see :meth:`replace`)."""
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def replace(self, source: Union[str, Path], target: Union[str, Path]) -> None:
+        """Atomically rename ``source`` over ``target``, then fsync the directory."""
+        os.replace(str(source), str(target))
+        fsync_directory(Path(target).parent)
+
+    def fsync_dir(self, path: Union[str, Path]) -> None:
+        fsync_directory(path)
+
+    def remove(self, path: Union[str, Path]) -> None:
+        os.remove(str(path))
+
+    def truncate(self, path: Union[str, Path], size: int) -> None:
+        """Cut a file to ``size`` bytes (dropping a torn tail) and fsync it."""
+        with open(path, "r+b") as handle:
+            handle.truncate(size)
+            handle.flush()
+            os.fsync(handle.fileno())
+
+
+DEFAULT_IO = DurableIO()
 
 
 def edge_array_digest(
@@ -244,3 +327,8 @@ class BatchJournal:
             handle.write(line + "\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if new_file:
+            # The file's bytes are durable, but its *directory entry* is
+            # not until the parent is fsync'd — without this, a crash
+            # right after creating the journal can lose the whole file.
+            fsync_directory(self.path.parent)

@@ -7,8 +7,15 @@ The entry point is :class:`StreamingSparsifier` — see
 machinery through the unified method registry and the CLI.
 """
 
-from repro.streaming.journal import STREAM_JOURNAL_VERSION, StreamJournal
+from repro.streaming.journal import (
+    DEFAULT_SEGMENT_BYTES,
+    STREAM_JOURNAL_VERSION,
+    JournalScanReport,
+    StreamJournal,
+)
+from repro.streaming.snapshot import SNAPSHOT_VERSION
 from repro.streaming.sparsifier import (
+    LEVEL_FANOUT,
     CompactionRecord,
     IngestRecord,
     StreamCertificate,
@@ -17,10 +24,17 @@ from repro.streaming.sparsifier import (
     StreamingSparsifier,
     compaction_rng,
 )
+from repro.streaming.store import RecoveryReport, StreamStateStore
 
 __all__ = [
+    "DEFAULT_SEGMENT_BYTES",
+    "LEVEL_FANOUT",
+    "SNAPSHOT_VERSION",
     "STREAM_JOURNAL_VERSION",
+    "JournalScanReport",
+    "RecoveryReport",
     "StreamJournal",
+    "StreamStateStore",
     "CompactionRecord",
     "IngestRecord",
     "StreamCertificate",

@@ -36,6 +36,8 @@ _KNOWN_OPTIONS = (
     "decay",
     "compaction_interval",
     "kout_presample",
+    "levels",
+    "level_capacity",
     "t",
     "k",
 )
@@ -104,6 +106,8 @@ def run_streaming(
         decay=options.get("decay"),
         compaction_interval=interval,
         kout_presample=options.get("kout_presample"),
+        levels=options.get("levels"),
+        level_capacity=options.get("level_capacity"),
     )
     # Contiguous slices preserve the input edge order, so num_batches=1
     # reproduces the batch sample bit for bit.

@@ -60,6 +60,7 @@ import numpy as np
 from repro.analysis.spectral import ApproximationReport, approximation_report
 from repro.api.result import UnifiedResult
 from repro.core.certificates import ResistanceCertificate, certify_resistances
+from repro.core.checkpoint import DurableIO
 from repro.core.config import SparsifierConfig
 from repro.exceptions import CheckpointError, GraphError, StreamingError
 from repro.graphs.graph import Graph
@@ -67,7 +68,8 @@ from repro.graphs.kout import k_out_keep_probabilities, k_out_select
 from repro.parallel.failure import FailurePolicy
 from repro.resistance.solver_select import ResistanceSolveStats
 from repro.spanners.bundle import bundle_select
-from repro.streaming.journal import StreamJournal
+from repro.streaming.journal import DEFAULT_SEGMENT_BYTES, StreamJournal
+from repro.streaming.store import StreamStateStore
 from repro.utils.rng import as_rng
 
 __all__ = [
@@ -77,8 +79,15 @@ __all__ = [
     "StreamSnapshot",
     "StreamCertificate",
     "StreamingSparsifier",
+    "LEVEL_FANOUT",
     "compaction_rng",
 ]
+
+# Each retained level holds LEVEL_FANOUT times the capacity of the level
+# below it before overflowing into the next merge (LSM-style geometric
+# growth: deeper levels hold older, already-resampled edges and are
+# touched exponentially less often).
+LEVEL_FANOUT = 4
 
 # spawn_key tags partitioning the seed's stream space: compactions after
 # the first, and per-batch k-out presampling.  Compaction 0 uses the bare
@@ -326,10 +335,17 @@ class StreamingSparsifier:
         decay: Optional[float] = None,
         compaction_interval: Optional[int] = None,
         kout_presample: Optional[int] = None,
+        levels: Optional[int] = None,
+        level_capacity: Optional[int] = None,
         journal: Optional[Union[str, Path]] = None,
+        store: Optional[Union[str, Path]] = None,
+        snapshot_every: Optional[int] = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        keep_snapshots: int = 2,
         failure_policy: Optional[FailurePolicy] = None,
         track_exact: bool = True,
         sampling_probability: Optional[float] = None,
+        io: Optional[DurableIO] = None,
     ) -> None:
         if num_vertices < 0:
             raise GraphError(f"num_vertices must be >= 0, got {num_vertices}")
@@ -376,6 +392,16 @@ class StreamingSparsifier:
                 f"kout_presample must be >= 1, got {kout_presample}"
             )
         self._kout = None if kout_presample is None else int(kout_presample)
+        self._max_levels = 1 if levels is None else int(levels)
+        if self._max_levels < 1:
+            raise StreamingError(f"levels must be >= 1, got {levels}")
+        self._level_capacity = (
+            2 * self._interval if level_capacity is None else int(level_capacity)
+        )
+        if self._level_capacity < 1:
+            raise StreamingError(
+                f"level_capacity must be >= 1, got {level_capacity}"
+            )
         if failure_policy is not None and failure_policy.on_error == "collect":
             raise StreamingError(
                 "a stream cannot skip a failed compaction without diverging; "
@@ -384,12 +410,15 @@ class StreamingSparsifier:
         self._failure_policy = failure_policy
         self._track_exact = bool(track_exact)
 
+        # Retained state: LSM-style levels, each [u, v, w, b] arrays —
+        # bundle edges at base weight plus sampled survivors at boosted
+        # weight, tagged with their arrival batch.  Level 0 is the classic
+        # retained pool; deeper levels hold older, already-resampled edges.
+        self._levels: List[List[np.ndarray]] = [
+            self._empty_level() for _ in range(self._max_levels)
+        ]
         empty_i = np.array([], dtype=np.int64)
         empty_f = np.array([], dtype=np.float64)
-        # Retained state: bundle edges at base weight plus sampled
-        # survivors at boosted weight, each tagged with its arrival batch.
-        self._ret_u, self._ret_v = empty_i, empty_i.copy()
-        self._ret_w, self._ret_b = empty_f, empty_i.copy()
         # Pending buffer: ingested edges not yet consumed by a compaction.
         self._pen_u, self._pen_v = empty_i.copy(), empty_i.copy()
         self._pen_w, self._pen_b = empty_f.copy(), empty_i.copy()
@@ -404,20 +433,54 @@ class StreamingSparsifier:
         self.records: List[CompactionRecord] = []
         self._replaying = False
 
+        if journal is not None and store is not None:
+            raise StreamingError(
+                "pass either journal= (journal only) or store= (journal + "
+                "snapshots), not both"
+            )
+        if snapshot_every is not None and store is None:
+            raise StreamingError("snapshot_every requires store=")
+        if snapshot_every is not None and int(snapshot_every) < 1:
+            raise StreamingError(
+                f"snapshot_every must be >= 1 batches, got {snapshot_every}"
+            )
+        self._snapshot_every = None if snapshot_every is None else int(snapshot_every)
         self._journal: Optional[StreamJournal] = None
-        if journal is not None:
-            path = Path(journal)
-            if path.exists() and path.stat().st_size > 0:
+        self._store: Optional[StreamStateStore] = None
+        if store is not None:
+            if StreamStateStore.has_content(store):
                 raise CheckpointError(
-                    f"stream journal {path} already has content; use "
-                    "StreamingSparsifier.resume() to continue it or pass a "
+                    f"stream store {store} already has content; use "
+                    "StreamingSparsifier.recover() to continue it or pass a "
                     "fresh path"
                 )
-            self._journal = StreamJournal(path, self._journal_params())
+            self._store = StreamStateStore(
+                store,
+                segment_bytes=segment_bytes,
+                keep_snapshots=keep_snapshots,
+                io=io,
+            )
+            self._journal = self._store.create_journal(self._journal_params())
+        elif journal is not None:
+            self._journal = StreamJournal(
+                journal,
+                self._journal_params(),
+                segment_bytes=segment_bytes,
+                io=io,
+            )
 
     # ------------------------------------------------------------------ #
     # Construction helpers
     # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _empty_level() -> List[np.ndarray]:
+        return [
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.int64),
+            np.array([], dtype=np.float64),
+            np.array([], dtype=np.int64),
+        ]
 
     @staticmethod
     def _normalize_seed(seed: Any) -> int:
@@ -440,6 +503,8 @@ class StreamingSparsifier:
             "decay": self._decay,
             "compaction_interval": self._interval,
             "kout_presample": self._kout,
+            "levels": self._max_levels,
+            "level_capacity": self._level_capacity,
         }
 
     @classmethod
@@ -461,16 +526,8 @@ class StreamingSparsifier:
         algorithmic parameters come from the header.
         """
         params, batches = StreamJournal.load(journal)
-        stream = cls(
-            params["num_vertices"],
-            t=params["t"],
-            k=params["k"],
-            sampling_probability=params["sampling_probability"],
-            seed=params["seed"],
-            window=params["window"],
-            decay=params["decay"],
-            compaction_interval=params["compaction_interval"],
-            kout_presample=params["kout_presample"],
+        stream = cls.from_stream_params(
+            params,
             config=config,
             failure_policy=failure_policy,
             track_exact=track_exact,
@@ -481,8 +538,68 @@ class StreamingSparsifier:
                 stream.ingest(np.column_stack([u, v]), w)
         finally:
             stream._replaying = False
-        stream._journal = StreamJournal(journal, stream._journal_params())
+        stream._journal = StreamJournal.attach(journal)
         return stream
+
+    @classmethod
+    def from_stream_params(
+        cls,
+        params: Dict[str, Any],
+        *,
+        config: Optional[SparsifierConfig] = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        track_exact: bool = True,
+    ) -> "StreamingSparsifier":
+        """Build a fresh, unattached stream from pinned journal parameters."""
+        return cls(
+            params["num_vertices"],
+            t=params["t"],
+            k=params["k"],
+            sampling_probability=params["sampling_probability"],
+            seed=params["seed"],
+            window=params["window"],
+            decay=params["decay"],
+            compaction_interval=params["compaction_interval"],
+            kout_presample=params["kout_presample"],
+            levels=params.get("levels"),
+            level_capacity=params.get("level_capacity"),
+            config=config,
+            failure_policy=failure_policy,
+            track_exact=track_exact,
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        store: Union[str, Path],
+        *,
+        config: Optional[SparsifierConfig] = None,
+        failure_policy: Optional[FailurePolicy] = None,
+        track_exact: bool = True,
+        snapshot_every: Optional[int] = None,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        keep_snapshots: int = 2,
+        io: Optional[DurableIO] = None,
+    ) -> Tuple["StreamingSparsifier", "Any"]:
+        """Recover a stream from its durable state store after a crash.
+
+        Walks the recovery ladder (latest valid snapshot → journal suffix
+        replay → valid-prefix salvage of a corrupt segment), quarantining
+        damaged files, and returns ``(stream, RecoveryReport)``.  The
+        report says whether the restored state is bit-exact with respect
+        to the batches whose appends completed, or lossy (and what was
+        lost) — recovery never silently diverges.
+        """
+        return StreamStateStore.recover(
+            store,
+            config=config,
+            failure_policy=failure_policy,
+            track_exact=track_exact,
+            snapshot_every=snapshot_every,
+            segment_bytes=segment_bytes,
+            keep_snapshots=keep_snapshots,
+            io=io,
+        )
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -518,7 +635,12 @@ class StreamingSparsifier:
 
     @property
     def retained_edges(self) -> int:
-        return int(self._ret_u.shape[0])
+        return int(sum(level[0].shape[0] for level in self._levels))
+
+    @property
+    def level_sizes(self) -> List[int]:
+        """Edge count per retained level (level 0 first)."""
+        return [int(level[0].shape[0]) for level in self._levels]
 
     @property
     def live_input_edges(self) -> int:
@@ -568,6 +690,14 @@ class StreamingSparsifier:
             self._compact(self._interval)
             compactions_run += 1
         self._ingest_seconds += time.perf_counter() - start
+        if (
+            self._store is not None
+            and self._snapshot_every is not None
+            and not self._replaying
+            and self._batches_ingested - self._store.last_snapshot_batch
+            >= self._snapshot_every
+        ):
+            self._store.checkpoint(self)
         return IngestRecord(
             batch_index=batch,
             edges=int(u.shape[0]),
@@ -587,6 +717,119 @@ class StreamingSparsifier:
             return None
         self._compact(int(self._pen_u.shape[0]))
         return self.records[-1]
+
+    def checkpoint(self) -> Path:
+        """Force a durable snapshot now (requires a store); returns its manifest.
+
+        Also truncates journal segments wholly covered by the oldest
+        retained snapshot, which is what bounds future resume replay to
+        the recent suffix.
+        """
+        if self._store is None:
+            raise StreamingError(
+                "checkpoint() requires the stream to be built with store=; "
+                "journal-only streams have nothing to snapshot into"
+            )
+        return self._store.checkpoint(self)
+
+    # ------------------------------------------------------------------ #
+    # Durable state (consumed by repro.streaming.store)
+    # ------------------------------------------------------------------ #
+
+    def _state_payload(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """Full sampler state as ``(counters, named arrays)``.
+
+        Everything future output depends on is here: the leveled retained
+        pools, the pending buffer, the exact-reference pools (when
+        tracked), batch sizes, and the counters that position the RNG
+        schedule (``compactions``) and the batch index.  The
+        ``records`` telemetry list is deliberately *not* persisted — it
+        describes past passes, nothing downstream replays it.
+        """
+        arrays: Dict[str, np.ndarray] = {}
+        for i, level in enumerate(self._levels):
+            arrays[f"level{i}/u"] = level[0]
+            arrays[f"level{i}/v"] = level[1]
+            arrays[f"level{i}/w"] = level[2]
+            arrays[f"level{i}/b"] = level[3]
+        arrays["pending/u"] = self._pen_u
+        arrays["pending/v"] = self._pen_v
+        arrays["pending/w"] = self._pen_w
+        arrays["pending/b"] = self._pen_b
+        arrays["batch_sizes"] = np.asarray(self._batch_sizes, dtype=np.int64)
+        exact_batches: List[int] = []
+        if self._track_exact:
+            for j, (batch, u, v, w) in enumerate(self._exact):
+                arrays[f"exact{j}/u"] = u
+                arrays[f"exact{j}/v"] = v
+                arrays[f"exact{j}/w"] = w
+                exact_batches.append(int(batch))
+        counters = {
+            "batches_ingested": int(self._batches_ingested),
+            "edges_ingested": int(self._edges_ingested),
+            "compactions": int(self._compactions),
+            "evicted": int(self._evicted),
+            "presampled_away": int(self._presampled_away),
+            "ingest_seconds": float(self._ingest_seconds),
+            "num_levels": len(self._levels),
+            "track_exact": bool(self._track_exact),
+            "exact_batches": exact_batches,
+        }
+        return counters, arrays
+
+    def _restore_state(
+        self, counters: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> None:
+        """Overwrite this (fresh) stream's state with a snapshot payload."""
+        try:
+            num_levels = int(counters["num_levels"])
+            if num_levels != self._max_levels:
+                raise CheckpointError(
+                    f"snapshot holds {num_levels} retained levels but the "
+                    f"stream parameters pin {self._max_levels}"
+                )
+            self._levels = [
+                [
+                    arrays[f"level{i}/u"],
+                    arrays[f"level{i}/v"],
+                    arrays[f"level{i}/w"],
+                    arrays[f"level{i}/b"],
+                ]
+                for i in range(num_levels)
+            ]
+            self._pen_u = arrays["pending/u"]
+            self._pen_v = arrays["pending/v"]
+            self._pen_w = arrays["pending/w"]
+            self._pen_b = arrays["pending/b"]
+            self._batch_sizes = [int(size) for size in arrays["batch_sizes"]]
+            self._exact = []
+            if self._track_exact:
+                if not counters.get("track_exact"):
+                    raise CheckpointError(
+                        "snapshot was written with track_exact=False; the "
+                        "exact reference cannot be restored"
+                    )
+                for j, batch in enumerate(counters["exact_batches"]):
+                    self._exact.append(
+                        (
+                            int(batch),
+                            arrays[f"exact{j}/u"],
+                            arrays[f"exact{j}/v"],
+                            arrays[f"exact{j}/w"],
+                        )
+                    )
+            self._batches_ingested = int(counters["batches_ingested"])
+            self._edges_ingested = int(counters["edges_ingested"])
+            self._compactions = int(counters["compactions"])
+            self._evicted = int(counters["evicted"])
+            self._presampled_away = int(counters["presampled_away"])
+            self._ingest_seconds = float(counters.get("ingest_seconds", 0.0))
+        except KeyError as exc:
+            raise CheckpointError(
+                f"snapshot payload is missing field {exc} — incompatible or "
+                "damaged snapshot"
+            ) from exc
+        self.records = []
 
     def _validate_batch(
         self, edges: Any, weights: Any
@@ -648,13 +891,14 @@ class StreamingSparsifier:
             return 0
         horizon = batch - self._window  # live: batch id > horizon
         evicted = 0
-        ret_mask = self._ret_b > horizon
-        if not ret_mask.all():
-            evicted += int(ret_mask.shape[0] - ret_mask.sum())
-            self._ret_u = self._ret_u[ret_mask]
-            self._ret_v = self._ret_v[ret_mask]
-            self._ret_w = self._ret_w[ret_mask]
-            self._ret_b = self._ret_b[ret_mask]
+        for level in self._levels:
+            ret_mask = level[3] > horizon
+            if not ret_mask.all():
+                evicted += int(ret_mask.shape[0] - ret_mask.sum())
+                level[0] = level[0][ret_mask]
+                level[1] = level[1][ret_mask]
+                level[2] = level[2][ret_mask]
+                level[3] = level[3][ret_mask]
         pen_mask = self._pen_b > horizon
         if not pen_mask.all():
             evicted += int(pen_mask.shape[0] - pen_mask.sum())
@@ -674,17 +918,19 @@ class StreamingSparsifier:
         now = self._batches_ingested - 1
         return w * np.power(self._decay, (now - batch_ids).astype(np.float64))
 
-    def _compact(self, take: int) -> None:
-        """Fold the earliest ``take`` pending edges into the retained state."""
-        work_u = np.concatenate([self._ret_u, self._pen_u[:take]])
-        work_v = np.concatenate([self._ret_v, self._pen_v[:take]])
-        work_w = np.concatenate([self._ret_w, self._pen_w[:take]])
-        work_b = np.concatenate([self._ret_b, self._pen_b[:take]])
-        self._pen_u = self._pen_u[take:]
-        self._pen_v = self._pen_v[take:]
-        self._pen_w = self._pen_w[take:]
-        self._pen_b = self._pen_b[take:]
+    def _sample_pass(
+        self,
+        work_u: np.ndarray,
+        work_v: np.ndarray,
+        work_w: np.ndarray,
+        work_b: np.ndarray,
+    ) -> List[np.ndarray]:
+        """One PARALLELSAMPLE pass over a working set: bundle + survivors.
 
+        Consumes the next compaction RNG index and appends a
+        :class:`CompactionRecord`; shared by the level-0 compaction and
+        level promotions so both stay deterministic and retry-neutral.
+        """
         eff_w = self._effective_weights(work_w, work_b)
         if self._decay is not None:
             alive = eff_w > 0.0  # underflowed weights are numerically dead
@@ -713,10 +959,6 @@ class StreamingSparsifier:
         bundle = result["bundle"]
         kept = result["kept"]
         multiplier = 1.0 / self._p
-        self._ret_u = np.concatenate([work_u[bundle], work_u[kept]])
-        self._ret_v = np.concatenate([work_v[bundle], work_v[kept]])
-        self._ret_w = np.concatenate([work_w[bundle], work_w[kept] * multiplier])
-        self._ret_b = np.concatenate([work_b[bundle], work_b[kept]])
         self._compactions += 1
         self.records.append(
             CompactionRecord(
@@ -731,17 +973,68 @@ class StreamingSparsifier:
                 kept_indices=kept,
             )
         )
+        return [
+            np.concatenate([work_u[bundle], work_u[kept]]),
+            np.concatenate([work_v[bundle], work_v[kept]]),
+            np.concatenate([work_w[bundle], work_w[kept] * multiplier]),
+            np.concatenate([work_b[bundle], work_b[kept]]),
+        ]
+
+    def _compact(self, take: int) -> None:
+        """Fold the earliest ``take`` pending edges into level 0.
+
+        Only level 0 participates in the routine pass — deeper levels hold
+        already-resampled older edges and are only re-sampled when an
+        overflow promotes a level into them (:meth:`_promote`), which is
+        what stops long streams from re-sampling their whole history on
+        every compaction.  With ``levels=1`` (the default) there is a
+        single level and the behaviour is the classic, parity-pinned one.
+        """
+        level0 = self._levels[0]
+        work_u = np.concatenate([level0[0], self._pen_u[:take]])
+        work_v = np.concatenate([level0[1], self._pen_v[:take]])
+        work_w = np.concatenate([level0[2], self._pen_w[:take]])
+        work_b = np.concatenate([level0[3], self._pen_b[:take]])
+        self._pen_u = self._pen_u[take:]
+        self._pen_v = self._pen_v[take:]
+        self._pen_w = self._pen_w[take:]
+        self._pen_b = self._pen_b[take:]
+        self._levels[0] = self._sample_pass(work_u, work_v, work_w, work_b)
+        self._promote()
+
+    def _promote(self) -> None:
+        """Merge overflowing levels downward, re-sampling only what moved.
+
+        Level ``i`` overflows at ``level_capacity * LEVEL_FANOUT**i``
+        edges; its contents are merged into level ``i+1`` by one sampling
+        pass (consuming the next compaction index, so the schedule stays a
+        pure function of the ingested sequence) and level ``i`` empties.
+        The deepest level is uncapped.  Ascending order lets a promotion
+        cascade in a single sweep.
+        """
+        for i in range(self._max_levels - 1):
+            capacity = self._level_capacity * (LEVEL_FANOUT**i)
+            if self._levels[i][0].shape[0] <= capacity:
+                continue
+            merged_u = np.concatenate([self._levels[i + 1][0], self._levels[i][0]])
+            merged_v = np.concatenate([self._levels[i + 1][1], self._levels[i][1]])
+            merged_w = np.concatenate([self._levels[i + 1][2], self._levels[i][2]])
+            merged_b = np.concatenate([self._levels[i + 1][3], self._levels[i][3]])
+            self._levels[i + 1] = self._sample_pass(
+                merged_u, merged_v, merged_w, merged_b
+            )
+            self._levels[i] = self._empty_level()
 
     # ------------------------------------------------------------------ #
     # Snapshot / certification
     # ------------------------------------------------------------------ #
 
     def _live_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        u = np.concatenate([self._ret_u, self._pen_u])
-        v = np.concatenate([self._ret_v, self._pen_v])
+        u = np.concatenate([level[0] for level in self._levels] + [self._pen_u])
+        v = np.concatenate([level[1] for level in self._levels] + [self._pen_v])
         w = self._effective_weights(
-            np.concatenate([self._ret_w, self._pen_w]),
-            np.concatenate([self._ret_b, self._pen_b]),
+            np.concatenate([level[2] for level in self._levels] + [self._pen_w]),
+            np.concatenate([level[3] for level in self._levels] + [self._pen_b]),
         )
         if self._decay is not None and w.shape[0]:
             alive = w > 0.0

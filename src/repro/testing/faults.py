@@ -20,6 +20,14 @@ tests (and downstream game-day rehearsals) drive:
   detection and the chain → cg degradation ladder.
 * :func:`cache_eviction_storm` — concurrent get/build/clear hammering of
   a :class:`repro.solvers.chain.ChainCache`, for the thread-safety test.
+* :class:`CrashPointIO` / :func:`kill_point_sweep` — the crash-consistency
+  torture harness for the durable streaming state store: a
+  :class:`~repro.core.checkpoint.DurableIO` that kills the "process"
+  (raises :class:`SimulatedCrash`) at the N-th filesystem mutation,
+  optionally leaving a torn half-write or a bit-flipped write behind, and
+  a driver that sweeps N over every write point of a workload.
+* :func:`truncate_file_at` / :func:`flip_bit` — byte-level corruptors for
+  the journal/snapshot fuzz tests (truncate at every offset, flip a bit).
 
 The injectors use the *attempt-aware callable* protocol of
 :mod:`repro.parallel.failure` (``__repro_attempt_aware__``): the policy
@@ -32,22 +40,39 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, List, Optional, Sequence
+from pathlib import Path
+from typing import Any, Callable, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.core.checkpoint import DurableIO
 from repro.exceptions import FaultInjectionError
 from repro.parallel.backends import ExecutionBackend, get_backend, register_backend
 from repro.parallel.failure import ATTEMPT_AWARE_ATTR, FailurePolicy, MapOutcome
 
 __all__ = [
+    "CrashPointIO",
     "FaultPlan",
     "InjectingBackend",
     "NaNPoisonedOperator",
+    "SimulatedCrash",
+    "flip_bit",
+    "kill_point_sweep",
     "nan_poisoned_preconditioner",
     "cache_eviction_storm",
     "set_default_fault_plan",
+    "truncate_file_at",
 ]
+
+
+class SimulatedCrash(FaultInjectionError):
+    """The injected process death of the crash-consistency harness.
+
+    Raised by :class:`CrashPointIO` at its kill point and on every
+    filesystem mutation after it (a dead process issues no more writes).
+    Deliberately *not* a :class:`CheckpointError`: production code must
+    never catch it — it propagates out of the workload like a real crash.
+    """
 
 
 @dataclass(frozen=True)
@@ -277,3 +302,159 @@ def cache_eviction_storm(
     for thread in threads:
         thread.join(timeout=60)
     return errors
+
+
+# --------------------------------------------------------------------- #
+# Crash-consistency torture harness
+# --------------------------------------------------------------------- #
+
+
+class CrashPointIO(DurableIO):
+    """A :class:`DurableIO` that dies at its N-th filesystem mutation.
+
+    Every write the durability layer performs routes through one
+    ``DurableIO`` method; this subclass counts those calls and, when the
+    counter reaches ``crash_at``, raises :class:`SimulatedCrash` instead
+    of (or — depending on ``mode`` — after damaging) the write.  Every
+    subsequent call also raises: a crashed process issues no more I/O.
+
+    ``mode`` controls what the dying write leaves on disk:
+
+    * ``"clean"`` — nothing: the mutation simply never happens (a crash
+      just before the syscall, or a write that never left the page cache).
+    * ``"torn"`` — the first half of the payload, unfsynced: a write torn
+      mid-way (only meaningful for ``append_line`` / ``write_bytes``;
+      other ops fall back to ``"clean"``).
+    * ``"flip"`` — the full payload with one bit flipped: media corruption
+      coinciding with the crash.
+
+    ``crash_at=None`` never crashes (useful to count a workload's ops:
+    run once, read :attr:`ops`, then sweep ``crash_at`` over the range).
+    """
+
+    def __init__(self, crash_at: Optional[int] = None, mode: str = "clean") -> None:
+        if mode not in ("clean", "torn", "flip"):
+            raise ValueError(f"unknown crash mode {mode!r}")
+        self.crash_at = crash_at
+        self.mode = mode
+        self.ops = 0
+        self.crashed = False
+        self.op_log: List[str] = []
+
+    def _tick(self, name: str, path: Any) -> bool:
+        """Count one mutation; True when this is the one that dies."""
+        if self.crashed:
+            raise SimulatedCrash(
+                f"i/o after simulated crash: {name} {path}"
+            )
+        index = self.ops
+        self.ops += 1
+        self.op_log.append(f"{name} {Path(path).name}")
+        if self.crash_at is not None and index == self.crash_at:
+            self.crashed = True
+            return True
+        return False
+
+    def _dying_write(self, path: Any, data: bytes, append: bool) -> None:
+        """Leave behind whatever this mode's dying write leaves behind."""
+        if self.mode == "torn":
+            damaged: Optional[bytes] = data[: len(data) // 2]
+        elif self.mode == "flip" and data:
+            corrupted = bytearray(data)
+            corrupted[len(corrupted) // 2] ^= 0x10
+            damaged = bytes(corrupted)
+        else:
+            damaged = None
+        if damaged is not None:
+            # Plain unfsynced write: the bytes may or may not have reached
+            # the platter; the harness assumes the worst (they did).
+            with open(path, "ab" if append else "wb") as handle:
+                handle.write(damaged)
+
+    def mkdir(self, path: Any) -> None:
+        if self._tick("mkdir", path):
+            raise SimulatedCrash(f"crash before mkdir {path}")
+        super().mkdir(path)
+
+    def append_line(self, path: Any, text: str) -> None:
+        if self._tick("append", path):
+            self._dying_write(path, text.encode("utf-8"), append=True)
+            raise SimulatedCrash(f"crash during append to {path}")
+        super().append_line(path, text)
+
+    def write_bytes(self, path: Any, data: bytes) -> None:
+        if self._tick("write", path):
+            self._dying_write(path, data, append=False)
+            raise SimulatedCrash(f"crash during write of {path}")
+        super().write_bytes(path, data)
+
+    def replace(self, source: Any, target: Any) -> None:
+        if self._tick("replace", target):
+            # A lost rename: the atomic os.replace never happened (or its
+            # directory entry never became durable, which reads the same).
+            raise SimulatedCrash(f"crash before replace onto {target}")
+        super().replace(source, target)
+
+    def fsync_dir(self, path: Any) -> None:
+        if self._tick("fsync_dir", path):
+            raise SimulatedCrash(f"crash before fsync of directory {path}")
+        super().fsync_dir(path)
+
+    def remove(self, path: Any) -> None:
+        if self._tick("remove", path):
+            raise SimulatedCrash(f"crash before remove of {path}")
+        super().remove(path)
+
+    def truncate(self, path: Any, size: int) -> None:
+        if self._tick("truncate", path):
+            raise SimulatedCrash(f"crash before truncate of {path}")
+        super().truncate(path, size)
+
+
+def kill_point_sweep(
+    workload: Callable[[CrashPointIO], Any],
+    verify: Callable[[int], None],
+    *,
+    mode: str = "clean",
+    limit: int = 100000,
+) -> int:
+    """Kill ``workload`` at every filesystem write point; verify each wreck.
+
+    ``workload(io)`` must run the system under test with ``io`` as its
+    :class:`DurableIO` (building any paths it needs fresh each call) and
+    let :class:`SimulatedCrash` propagate.  For each kill point ``k`` —
+    0, 1, 2, … — the workload runs until its ``k``-th mutation dies, then
+    ``verify(k)`` asserts whatever recovery invariant the test is about
+    (typically: ``recover()`` is bit-exact over the surviving prefix or
+    explicitly lossy).  The sweep ends at the first ``k`` the workload
+    survives outright (it has fewer than ``k+1`` write points) and returns
+    the number of kill points exercised.
+    """
+    point = 0
+    while point < limit:
+        io = CrashPointIO(crash_at=point, mode=mode)
+        try:
+            workload(io)
+        except SimulatedCrash:
+            pass
+        if not io.crashed:
+            return point
+        verify(point)
+        point += 1
+    raise FaultInjectionError(
+        f"kill-point sweep did not terminate within {limit} write points"
+    )
+
+
+def truncate_file_at(path: Union[str, Path], size: int) -> None:
+    """Cut a file to ``size`` bytes (the every-offset torn-write fuzzer)."""
+    with open(path, "r+b") as handle:
+        handle.truncate(int(size))
+
+
+def flip_bit(path: Union[str, Path], byte_offset: int, bit: int = 0) -> None:
+    """Flip one bit of one byte in place (media-corruption fuzzer)."""
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    data[int(byte_offset)] ^= 1 << int(bit)
+    path.write_bytes(bytes(data))

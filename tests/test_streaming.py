@@ -265,7 +265,8 @@ class TestJournalResume:
             stream_graph, batch_size=400, seed=9, compaction_interval=500,
             journal=journal,
         )
-        with open(journal, "a") as handle:
+        active = sorted(journal.glob("segment-*.jsonl"))[-1]
+        with open(active, "a") as handle:
             handle.write('{"kind": "batch", "index": 99, "u": [1')  # crash mid-append
         resumed = StreamingSparsifier.resume(journal)
         reference = run_stream(
@@ -286,10 +287,11 @@ class TestJournalResume:
         # A fresh stream must not silently append to an existing journal.
         with pytest.raises(CheckpointError, match="resume"):
             StreamingSparsifier(stream_graph.num_vertices, journal=journal)
-        # Mid-file corruption is not a torn append.
-        lines = journal.read_text().splitlines()
+        # Mid-segment corruption is not a torn append.
+        active = sorted(journal.glob("segment-*.jsonl"))[-1]
+        lines = active.read_text().splitlines()
         lines[1] = lines[1][:20]
-        journal.write_text("\n".join(lines) + "\n")
+        active.write_text("\n".join(lines) + "\n")
         with pytest.raises(CheckpointError, match="corrupt"):
             StreamingSparsifier.resume(journal)
 
@@ -297,11 +299,12 @@ class TestJournalResume:
         journal_path = tmp_path / "stream.jsonl"
         stream = StreamingSparsifier(6, seed=0, journal=journal_path)
         stream.ingest(np.array([[0, 1], [2, 3]]))
-        record = json.loads(journal_path.read_text().splitlines()[1])
+        active = sorted(journal_path.glob("segment-*.jsonl"))[-1]
+        record = json.loads(active.read_text().splitlines()[1])
         record["w"] = [2.0, 2.0]  # tamper with the edges, keep the digest
-        lines = journal_path.read_text().splitlines()
+        lines = active.read_text().splitlines()
         lines[1] = json.dumps(record)
-        journal_path.write_text("\n".join(lines) + "\n")
+        active.write_text("\n".join(lines) + "\n")
         with pytest.raises(CheckpointError, match="digest"):
             StreamingSparsifier.resume(journal_path)
 
