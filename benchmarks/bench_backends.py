@@ -30,7 +30,6 @@ import os
 import time
 from pathlib import Path
 
-import numpy as np
 
 from benchmarks.conftest import print_table
 from repro.analysis.reporting import ExperimentTable

@@ -10,10 +10,9 @@ the spanner-based sparsifier is solve-free.  We measure sizes and measured
 epsilon at matched nominal epsilon.
 """
 
-import numpy as np
 import pytest
 
-from benchmarks.conftest import er_graph, print_table
+from benchmarks.conftest import print_table
 from repro.analysis.reporting import ExperimentTable
 from repro.baselines.kapralov_panigrahi import kapralov_panigrahi_sparsify, kp_sample_count
 from repro.baselines.spielman_srivastava import spielman_srivastava_sparsify

@@ -30,7 +30,6 @@ import time
 from pathlib import Path
 
 import numpy as np
-import pytest
 
 try:
     from benchmarks.conftest import er_graph, print_table

@@ -9,7 +9,6 @@ versus plain CG.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import print_table
 from repro.analysis.reporting import ExperimentTable

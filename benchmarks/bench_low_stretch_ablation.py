@@ -9,15 +9,12 @@ Measured: bundle sizes, sparsifier sizes and measured quality for the two
 bundle types at equal t, on a grid and a dense ER graph.
 """
 
-import numpy as np
-import pytest
 
 from benchmarks.conftest import er_graph, print_table
 from repro.analysis.reporting import ExperimentTable
 from repro.core.certificates import certify_approximation
 from repro.core.config import SparsifierConfig
 from repro.core.sample import parallel_sample
-from repro.graphs import generators as gen
 from repro.graphs.connectivity import is_connected
 
 

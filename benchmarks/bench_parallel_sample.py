@@ -13,9 +13,8 @@ theory-mode row documents the threshold-of-applicability degeneracy.
 """
 
 import numpy as np
-import pytest
 
-from benchmarks.conftest import er_graph, print_table
+from benchmarks.conftest import print_table
 from repro.analysis.reporting import ExperimentTable
 from repro.core.certificates import certify_approximation
 from repro.core.config import SparsifierConfig

@@ -36,7 +36,6 @@ from repro.solvers.peng_spielman import (
     solve_laplacian,
     solve_sdd,
 )
-from repro.solvers.work_model import chain_work_model
 
 CONFIG = SparsifierConfig.practical(bundle_t=2)
 

@@ -161,7 +161,7 @@ def grouping_kernel_rows(smoke: bool) -> list:
         for name, fn in (("lexsort", _lexsort_lightest_per_group), ("radix", _lightest_per_group)):
             start = time.perf_counter()
             for _ in range(reps):
-                out = fn(group_a, group_b, lengths, payload)
+                fn(group_a, group_b, lengths, payload)
             timings[name] = (time.perf_counter() - start) / reps
         old = _lexsort_lightest_per_group(group_a, group_b, lengths, payload)
         new = _lightest_per_group(group_a, group_b, lengths, payload)

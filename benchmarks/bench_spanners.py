@@ -11,11 +11,9 @@ work/depth counters charged by the implementation.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import er_graph, print_table
 from repro.analysis.reporting import ExperimentTable
-from repro.graphs import generators as gen
 from repro.spanners.baswana_sen import baswana_sen_spanner
 from repro.spanners.bundle import t_bundle_spanner
 

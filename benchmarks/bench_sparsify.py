@@ -8,10 +8,8 @@ Measured: output edges and certificates across rho, the per-round edge
 counts, and how the m/rho term shows up for a dense input.
 """
 
-import numpy as np
-import pytest
 
-from benchmarks.conftest import er_graph, print_table
+from benchmarks.conftest import print_table
 from repro.analysis.reporting import ExperimentTable
 from repro.core.certificates import certify_approximation
 from repro.core.config import SparsifierConfig

@@ -11,7 +11,6 @@ counters vs m (rounds m-independent, messages ~linear in m).
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import er_graph, print_table
 from repro.analysis.reporting import ExperimentTable

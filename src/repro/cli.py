@@ -43,6 +43,12 @@ Subcommands
     snapshot, journal suffix, valid-prefix salvage — print the
     :class:`~repro.streaming.RecoveryReport`, and exit 0 when the
     restored state is bit-exact (1 when recovered but lossy).
+``lint``
+    Run the AST invariant checker (:mod:`repro.lint`) — the machine
+    enforcement of the repo's determinism / durability / degradation
+    contracts — against ``src/`` (or explicit paths), ratcheted by the
+    committed ``lint-baseline.json``.  ``--check`` is the strict CI
+    gate; ``--list-rules`` prints the rule table.
 
 ``sparsify`` / ``batch`` accept ``--backend`` / ``--workers`` /
 ``--shards`` to choose where the work executes; backends never change the
@@ -71,6 +77,7 @@ from repro.api import (
 from repro.core.certificates import certify_resistances
 from repro.exceptions import ReproError
 from repro.graphs.io import read_edge_list, write_edge_list
+from repro.lint.cli import add_lint_arguments, run_lint_command
 from repro.parallel.backends import available_backends
 from repro.parallel.failure import FailurePolicy
 from repro.spanners.baswana_sen import baswana_sen_spanner
@@ -290,6 +297,12 @@ def build_parser() -> argparse.ArgumentParser:
     recover.add_argument("store", help="stream state store directory (journal/ + snapshots/)")
     recover.add_argument("--output", default=None, metavar="FILE",
                          help="also write the recovered snapshot as an edge list")
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="AST invariant checker: determinism, durability and degradation contracts",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -569,6 +582,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _run_stream(args)
     if args.command == "recover":
         return _run_recover(args)
+    if args.command == "lint":
+        return run_lint_command(args)
     parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     return 2  # pragma: no cover
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.config import SparsifierConfig
 from repro.core.sparsify import SparsifyResult, parallel_sparsify
@@ -32,6 +32,9 @@ from repro.parallel.backends import BackendSpec, get_backend
 from repro.parallel.failure import FailurePolicy, FailureRecord
 from repro.parallel.metrics import PRAMCost, combine_parallel
 from repro.utils.rng import SeedLike, as_rng, split_rng
+
+if TYPE_CHECKING:  # deferred: checkpoint imports are lazy on the hot path
+    from repro.core.checkpoint import DurableIO
 
 __all__ = ["BatchSparsifyResult", "sparsify_many"]
 
@@ -128,6 +131,7 @@ def sparsify_many(
     max_workers: Optional[int] = None,
     failure_policy: Optional[FailurePolicy] = None,
     checkpoint: Optional[Union[str, Path]] = None,
+    checkpoint_io: Optional["DurableIO"] = None,
 ) -> BatchSparsifyResult:
     """Sparsify many independent graphs concurrently.
 
@@ -160,6 +164,11 @@ def sparsify_many(
         Completed jobs are appended as the batch progresses; re-running
         the same batch with the same path skips them (validated by graph
         digest, so a journal from a different batch is refused).
+    checkpoint_io:
+        :class:`~repro.core.checkpoint.DurableIO` the journal writes
+        through (default: the real fsync'd filesystem).  The crash
+        harness passes a :class:`~repro.testing.faults.CrashPointIO`
+        here to kill or tear every journal append.
 
     Returns
     -------
@@ -187,7 +196,9 @@ def sparsify_many(
     if checkpoint is not None:
         from repro.core.checkpoint import BatchJournal
 
-        journal = BatchJournal(checkpoint, epsilon=epsilon, rho=rho, num_jobs=len(graph_list))
+        journal = BatchJournal(
+            checkpoint, epsilon=epsilon, rho=rho, num_jobs=len(graph_list), io=checkpoint_io
+        )
         completed = journal.load_completed(graph_list)
 
     # Jobs run their internal work serially: the batch IS the fan-out.

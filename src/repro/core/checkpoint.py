@@ -251,8 +251,10 @@ class BatchJournal:
         epsilon: Optional[float],
         rho: float,
         num_jobs: int,
+        io: Optional[DurableIO] = None,
     ) -> None:
         self.path = Path(path)
+        self._io = io if io is not None else DEFAULT_IO
         self._header = _Header(
             version=_JOURNAL_VERSION,
             epsilon=None if epsilon is None else float(epsilon),
@@ -321,14 +323,17 @@ class BatchJournal:
             }
         )
         new_file = not self.path.exists() or self.path.stat().st_size == 0
-        with open(self.path, "a") as handle:
-            if new_file:
-                handle.write(json.dumps({"kind": "header", **vars(self._header)}) + "\n")
-            handle.write(line + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        # Both appends route through the DurableIO seam so the crash
+        # harness can kill or tear each one.  A crash between them leaves
+        # a header-only journal, which load_completed reads as an empty
+        # (but valid) batch.
+        if new_file:
+            self._io.append_line(
+                self.path, json.dumps({"kind": "header", **vars(self._header)}) + "\n"
+            )
+        self._io.append_line(self.path, line + "\n")
         if new_file:
             # The file's bytes are durable, but its *directory entry* is
             # not until the parent is fsync'd — without this, a crash
             # right after creating the journal can lose the whole file.
-            fsync_directory(self.path.parent)
+            self._io.fsync_dir(self.path.parent)

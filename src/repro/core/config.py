@@ -24,7 +24,7 @@ EXPERIMENTS.md are driven by config values rather than code edits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 import numpy as np

@@ -25,7 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
-import numpy as np
 
 from repro.core.config import SparsifierConfig
 from repro.core.sample import SampleResult, parallel_sample

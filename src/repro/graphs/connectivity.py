@@ -10,7 +10,7 @@ The sparsification pipeline relies on connectivity in two places:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

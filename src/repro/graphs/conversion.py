@@ -7,7 +7,6 @@ SciPy sparse adjacency / Laplacian matrices.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import networkx as nx
 import numpy as np

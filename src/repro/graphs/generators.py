@@ -18,7 +18,6 @@ All generators are deterministic given a ``seed``.
 
 from __future__ import annotations
 
-import math
 from typing import Optional, Tuple
 
 import numpy as np

@@ -8,7 +8,7 @@ without materialising a ``Graph`` object.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp

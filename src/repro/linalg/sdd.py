@@ -12,7 +12,7 @@ implements that reduction so the Laplacian solvers of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 import scipy.sparse as sp

@@ -1,0 +1,47 @@
+"""``repro.lint`` — AST-enforced determinism, durability, and degradation contracts.
+
+The repo's parity guarantees (bit-identical sampling across backends,
+bit-exact crash recovery, never-silently-inexact degradation) rest on
+code conventions that goldens only catch *after* they break.  This
+package checks the conventions themselves, statically, on every change:
+
+>>> from repro.lint import lint_paths
+>>> report = lint_paths(["src"])          # doctest: +SKIP
+>>> [f.format() for f in report.findings] # doctest: +SKIP
+
+Run it as ``repro-sparsify lint`` or ``python -m repro.lint``; rules are
+listed by ``--list-rules`` and extensible through :func:`register_rule`
+(the same plugin idiom as :func:`repro.api.register_method`).
+"""
+
+from repro.lint.baseline import Baseline, BaselineDelta, BaselineError, DEFAULT_BASELINE_NAME
+from repro.lint.engine import LintReport, lint_paths, lint_source
+from repro.lint.model import FileContext, Finding
+from repro.lint.registry import (
+    LintRuleError,
+    RuleSpec,
+    available_rules,
+    get_rule,
+    register_rule,
+    rule_descriptions,
+    unregister_rule,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineDelta",
+    "BaselineError",
+    "DEFAULT_BASELINE_NAME",
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "LintRuleError",
+    "RuleSpec",
+    "available_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+    "rule_descriptions",
+    "unregister_rule",
+]

@@ -1,0 +1,10 @@
+"""``python -m repro.lint`` — run the invariant linter standalone."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.lint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

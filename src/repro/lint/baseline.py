@@ -1,0 +1,144 @@
+"""The committed finding baseline: a ratchet, not a snooze button.
+
+A fresh rule often lands with pre-existing violations that are real but
+not this PR's to fix.  The baseline records them — as *counts* per
+``(rule, file)``, committed to the repo — and then ratchets:
+
+* A finding **above** its baselined count is new debt → check fails.
+* A count **below** baseline means debt was paid → check fails too,
+  with instructions to re-run ``--update-baseline``, so the committed
+  ceiling drops and the improvement cannot silently regress.
+* Baseline entries for files/rules with no findings at all are *stale*
+  and likewise fail the check.
+
+Counts (not line numbers) keep the baseline insensitive to unrelated
+edits shifting code up and down — the classic ratchet trade-off: debt
+can move within a file, but it cannot grow.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import ReproError
+from repro.lint.engine import LintReport
+from repro.lint.model import Finding
+
+__all__ = ["Baseline", "BaselineError", "BaselineDelta", "DEFAULT_BASELINE_NAME"]
+
+DEFAULT_BASELINE_NAME = "lint-baseline.json"
+_BASELINE_VERSION = 1
+
+Counts = Dict[str, Dict[str, int]]
+
+
+class BaselineError(ReproError):
+    """Unreadable or structurally invalid baseline file."""
+
+
+@dataclass
+class BaselineDelta:
+    """How one lint run compares against the committed ratchet."""
+
+    # Findings beyond the baselined ceiling (all findings of a (rule,
+    # file) bucket are listed when its ceiling is exceeded — counts, not
+    # line numbers, are what the baseline pins).
+    new_findings: List[Finding] = field(default_factory=list)
+    # (rule, path, baselined, current) buckets whose debt shrank or
+    # vanished: the ratchet must be tightened with --update-baseline.
+    stale: List[tuple] = field(default_factory=list)
+    baselined_count: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.new_findings and not self.stale
+
+
+@dataclass
+class Baseline:
+    """Per-``(rule, file)`` finding ceilings loaded from / saved to JSON."""
+
+    counts: Counts = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        file_path = Path(path)
+        if not file_path.exists():
+            return cls()
+        try:
+            payload = json.loads(file_path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read lint baseline {file_path}: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("version") != _BASELINE_VERSION:
+            raise BaselineError(
+                f"lint baseline {file_path} has unsupported shape/version "
+                f"(expected version {_BASELINE_VERSION})"
+            )
+        counts = payload.get("counts", {})
+        clean: Counts = {}
+        for rule, by_path in counts.items():
+            if not isinstance(by_path, dict):
+                raise BaselineError(f"lint baseline {file_path}: counts[{rule!r}] is not a mapping")
+            for rel, count in by_path.items():
+                if not isinstance(count, int) or count < 1:
+                    raise BaselineError(
+                        f"lint baseline {file_path}: counts[{rule!r}][{rel!r}] "
+                        f"must be a positive int, got {count!r}"
+                    )
+                clean.setdefault(rule, {})[rel] = count
+        return cls(counts=clean)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline deterministically (sorted keys, one commit-able form)."""
+        ordered = {
+            rule: {rel: self.counts[rule][rel] for rel in sorted(self.counts[rule])}
+            for rule in sorted(self.counts)
+            if self.counts[rule]
+        }
+        payload = {
+            "version": _BASELINE_VERSION,
+            "comment": (
+                "Ratcheted invariant-lint debt: counts may only decrease. "
+                "Regenerate with `repro-sparsify lint --update-baseline` "
+                "after paying debt down; never hand-raise a count."
+            ),
+            "counts": ordered,
+        }
+        Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    @classmethod
+    def from_report(cls, report: LintReport) -> "Baseline":
+        return cls(counts=report.counts())
+
+    def ceiling(self, rule: str, path: str) -> int:
+        return self.counts.get(rule, {}).get(path, 0)
+
+    def compare(self, report: LintReport) -> BaselineDelta:
+        """Ratchet a report against this baseline (see module docstring)."""
+        delta = BaselineDelta()
+        current = report.counts()
+        by_bucket: Dict[tuple, List[Finding]] = {}
+        for finding in report.findings:
+            by_bucket.setdefault((finding.rule, finding.path), []).append(finding)
+
+        for (rule, path), findings in sorted(by_bucket.items()):
+            ceiling = self.ceiling(rule, path)
+            if len(findings) > ceiling:
+                # The bucket exceeded its ceiling: every finding in it is
+                # suspect (the baseline pins counts, not lines).
+                delta.new_findings.extend(findings)
+            else:
+                delta.baselined_count += len(findings)
+                if len(findings) < ceiling:
+                    delta.stale.append((rule, path, ceiling, len(findings)))
+
+        for rule, by_path in sorted(self.counts.items()):
+            for path, ceiling in sorted(by_path.items()):
+                if not current.get(rule, {}).get(path):
+                    delta.stale.append((rule, path, ceiling, 0))
+        delta.new_findings.sort()
+        return delta

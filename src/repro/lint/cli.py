@@ -1,0 +1,175 @@
+"""CLI for the invariant linter.
+
+Reachable two ways with identical behavior:
+
+* ``repro-sparsify lint ...`` — subcommand of the main console script.
+* ``python -m repro.lint ...`` — standalone, importable without the rest
+  of the CLI.
+
+Exit codes: 0 clean (every finding baselined, baseline tight), 1
+violations (new findings, or — under ``--check`` — a stale baseline
+needing a ratchet update), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import DEFAULT_BASELINE_NAME, Baseline, BaselineError
+from repro.lint.engine import lint_paths
+from repro.lint.registry import rule_descriptions
+
+__all__ = ["add_lint_arguments", "run_lint_command", "build_parser", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to ``parser`` (shared with the main CLI)."""
+    parser.add_argument(
+        "paths", nargs="*", default=None,
+        help="files/directories to lint (default: src/ under the current directory)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE.json",
+        help=f"ratchet baseline file (default: ./{DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file: report every finding",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to the current findings (the only way counts change)",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="strict CI mode: fail on new findings AND on a stale (over-generous) baseline",
+    )
+    parser.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="machine-readable report on stdout",
+    )
+    parser.add_argument(
+        "--rules", nargs="+", default=None, metavar="REPnnn",
+        help="run only these rule ids (default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table (id, title, rationale) and exit",
+    )
+
+
+def _print_rules() -> None:
+    specs = rule_descriptions()
+    width = max(len(spec.title) for spec in specs.values())
+    print(f"{'ID':<8}{'CONTRACT':<{width + 2}}RATIONALE")
+    for rule_id, spec in specs.items():
+        print(f"{rule_id:<8}{spec.title:<{width + 2}}{spec.rationale}")
+    print()
+    print("Suppress one deliberate violation with `# repro: noqa[REPnnn]` on its line;")
+    print("unused suppressions are reported as REP000.  Parse failures report as REP999.")
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    if args.list_rules:
+        _print_rules()
+        return 0
+
+    paths: Sequence[str] = args.paths or []
+    if not paths:
+        default_src = Path("src")
+        if not default_src.is_dir():
+            print(
+                "repro-lint: no paths given and no src/ directory here; "
+                "pass explicit paths",
+                file=sys.stderr,
+            )
+            return 2
+        paths = [str(default_src)]
+
+    missing = [p for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"repro-lint: no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(paths, rules=args.rules)
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+    if args.no_baseline:
+        baseline = Baseline()
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except BaselineError as exc:
+            print(f"repro-lint: {exc}", file=sys.stderr)
+            return 2
+
+    if args.update_baseline:
+        Baseline.from_report(report).save(baseline_path)
+        print(
+            f"repro-lint: baseline {baseline_path} updated: "
+            f"{len(report.findings)} finding(s) across {report.files_checked} file(s)"
+        )
+        return 0
+
+    delta = baseline.compare(report)
+    stale_matters = args.check and not args.no_baseline
+    failed = bool(delta.new_findings) or (stale_matters and bool(delta.stale))
+
+    if args.as_json:
+        payload = {
+            "files_checked": report.files_checked,
+            "rules_run": list(report.rules_run),
+            "findings": [finding.to_dict() for finding in delta.new_findings],
+            "baselined": delta.baselined_count,
+            "suppressed": [finding.to_dict() for finding in report.suppressed],
+            "stale_baseline": [
+                {"rule": rule, "path": path, "baselined": ceiling, "current": current}
+                for rule, path, ceiling, current in delta.stale
+            ],
+            "ok": not failed,
+        }
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
+
+    for finding in delta.new_findings:
+        print(finding.format())
+    for rule, path, ceiling, current in delta.stale:
+        print(
+            f"{path}: stale baseline for {rule}: {ceiling} baselined but only "
+            f"{current} found — run --update-baseline to ratchet down"
+        )
+    summary = (
+        f"repro-lint: {report.files_checked} file(s), "
+        f"{len(report.rules_run)} rule(s): "
+        f"{len(delta.new_findings)} new finding(s), "
+        f"{delta.baselined_count} baselined, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    if delta.stale:
+        summary += f", {len(delta.stale)} stale baseline entr{'y' if len(delta.stale) == 1 else 'ies'}"
+    print(summary)
+    return 1 if failed else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="AST invariant checker for the repro codebase "
+        "(determinism, durability, and degradation contracts).",
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run_lint_command(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,160 @@
+"""Invariant-rule registry: one namespace for every lint rule.
+
+This mirrors the sparsifier-method registry of :mod:`repro.api.registry`
+(and the backend registry of :mod:`repro.parallel.backends`): rules are
+registered under stable ids with a decorator, the built-in rules load
+lazily on first lookup, and ``replace=True`` lets tests or downstream
+plugins swap a rule without restarting the process.
+
+Registering a rule
+------------------
+:func:`register_rule` is a public extension point.  A rule is a callable
+taking a :class:`~repro.lint.model.FileContext` and yielding
+:class:`~repro.lint.model.Finding` objects::
+
+    from repro.lint import register_rule
+
+    @register_rule(
+        "REP101",
+        title="no print in library code",
+        rationale="stdout belongs to the CLI layer",
+    )
+    def check_no_print(ctx):
+        for node in ast.walk(ctx.tree):
+            ...
+            yield ctx.finding("REP101", node, "print() in library code")
+
+Rules must be pure functions of the file context: the engine owns
+suppression comments, baselines, and exit codes.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, Tuple
+
+from repro.exceptions import ReproError
+from repro.lint.model import FileContext, Finding
+
+__all__ = [
+    "LintRuleError",
+    "RuleSpec",
+    "register_rule",
+    "unregister_rule",
+    "get_rule",
+    "available_rules",
+    "rule_descriptions",
+]
+
+RuleChecker = Callable[[FileContext], Iterable[Finding]]
+
+_RULE_ID_PATTERN = re.compile(r"^REP\d{3}$")
+
+
+class LintRuleError(ReproError):
+    """Invalid rule registration or lookup."""
+
+
+@dataclass(frozen=True)
+class RuleSpec:
+    """A registered invariant rule: the checker plus its contract text."""
+
+    rule_id: str
+    checker: RuleChecker
+    title: str
+    rationale: str = ""
+
+
+_RULES: Dict[str, RuleSpec] = {}
+_REGISTRY_LOCK = threading.Lock()
+# The builtin rules register themselves at import time (taking
+# _REGISTRY_LOCK), so the loader must use its own re-entrant lock —
+# same shape as repro.api.registry._BUILTIN_LOCK.
+_BUILTIN_LOCK = threading.RLock()
+_BUILTINS_LOADED = False
+
+
+def _ensure_builtin_rules() -> None:
+    """Import the module that registers the built-in rules (idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    with _BUILTIN_LOCK:
+        if _BUILTINS_LOADED:
+            return
+        import repro.lint.rules  # noqa: F401  (registers on import)
+
+        _BUILTINS_LOADED = True
+
+
+def register_rule(
+    rule_id: str,
+    *,
+    title: str,
+    rationale: str = "",
+    replace: bool = False,
+):
+    """Register an invariant rule under ``rule_id`` (usable as a decorator).
+
+    ``rule_id`` must match ``REPnnn``.  A duplicate id raises
+    :class:`LintRuleError` unless ``replace=True``.  The decorator
+    returns the checker unchanged so it stays directly testable.
+    """
+    if not isinstance(rule_id, str) or not _RULE_ID_PATTERN.match(rule_id):
+        raise LintRuleError(
+            f"rule id must match REPnnn (e.g. 'REP001'), got {rule_id!r}"
+        )
+    if not title:
+        raise LintRuleError(f"rule {rule_id} needs a non-empty title")
+
+    def decorator(checker: RuleChecker) -> RuleChecker:
+        if not callable(checker):
+            raise LintRuleError(f"rule checker must be callable, got {checker!r}")
+        spec = RuleSpec(rule_id=rule_id, checker=checker, title=title, rationale=rationale)
+        with _REGISTRY_LOCK:
+            if not replace and rule_id in _RULES:
+                raise LintRuleError(
+                    f"rule {rule_id} already registered; pass replace=True to overwrite"
+                )
+            _RULES[rule_id] = spec
+        return checker
+
+    return decorator
+
+
+def unregister_rule(rule_id: str) -> bool:
+    """Remove a registered rule; returns True when it existed.
+
+    Intended for tests and plugin teardown; the built-ins come back by
+    re-importing :mod:`repro.lint.rules` with ``replace=True``.
+    """
+    with _REGISTRY_LOCK:
+        return _RULES.pop(rule_id, None) is not None
+
+
+def get_rule(rule_id: str) -> RuleSpec:
+    """Resolve a rule id into its :class:`RuleSpec`."""
+    _ensure_builtin_rules()
+    with _REGISTRY_LOCK:
+        spec = _RULES.get(rule_id)
+    if spec is None:
+        raise LintRuleError(
+            f"unknown lint rule {rule_id!r}; available: {', '.join(available_rules())}"
+        )
+    return spec
+
+
+def available_rules() -> Tuple[str, ...]:
+    """Ids of all registered rules, sorted."""
+    _ensure_builtin_rules()
+    with _REGISTRY_LOCK:
+        return tuple(sorted(_RULES))
+
+
+def rule_descriptions() -> Dict[str, RuleSpec]:
+    """Mapping of rule id to its full spec, sorted by id."""
+    _ensure_builtin_rules()
+    with _REGISTRY_LOCK:
+        return {rule_id: _RULES[rule_id] for rule_id in sorted(_RULES)}

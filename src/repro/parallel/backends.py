@@ -214,7 +214,7 @@ def _drain_ordered(futures: List["concurrent.futures.Future"]) -> List[Any]:
     """Collect results in order; on the first failure cancel the rest."""
     try:
         return [future.result() for future in futures]
-    except BaseException:
+    except BaseException:  # repro: broad-except fail-fast must cancel peers even on KeyboardInterrupt
         for future in futures:
             future.cancel()
         raise

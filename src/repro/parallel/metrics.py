@@ -11,8 +11,8 @@ always add; the maximum message size is the max over parts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable
+from dataclasses import dataclass
+from typing import Iterable
 
 __all__ = [
     "PRAMCost",

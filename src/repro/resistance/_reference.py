@@ -18,7 +18,6 @@ Production callers use :mod:`repro.resistance.exact` and
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -26,7 +26,7 @@ The pre-blocking one-solve-per-pair loop is preserved in
 from __future__ import annotations
 
 import warnings
-from typing import Iterable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 import scipy.sparse as sp

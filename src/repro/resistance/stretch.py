@@ -20,7 +20,7 @@ most ``2 log n / (t w_e)``; Rayleigh monotonicity transfers the bound to G.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Sequence
 
 import numpy as np
 import scipy.sparse as sp

@@ -15,7 +15,7 @@ the comparison shares one code path for work accounting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -29,7 +29,6 @@ from repro.graphs.graph import Graph
 from repro.linalg.cg import (
     BatchSolveResult,
     SolveResult,
-    conjugate_gradient,
     laplacian_solve,
     laplacian_solve_many,
 )

@@ -24,7 +24,6 @@ Abraham–Bartal–Neiman machinery (which would be its own paper):
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np

@@ -16,7 +16,6 @@ weighted-stretch proof subtle), this module provides
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np

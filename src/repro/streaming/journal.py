@@ -76,6 +76,7 @@ _PINNED_KEYS = (
     "k",
     "sampling_probability",
     "seed",
+    "auto_seeded",
     "window",
     "decay",
     "compaction_interval",
@@ -106,6 +107,9 @@ def canonical_stream_params(params: Dict[str, Any]) -> Dict[str, Any]:
         if isinstance(value, float):
             value = json.loads(json.dumps(value))
         canon[key] = value
+    # Seed provenance: journals written before the flag existed simply
+    # lack it, which canonicalises to False (an explicit seed).
+    canon["auto_seeded"] = bool(canon["auto_seeded"] or False)
     return canon
 
 

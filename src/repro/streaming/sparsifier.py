@@ -70,7 +70,7 @@ from repro.resistance.solver_select import ResistanceSolveStats
 from repro.spanners.bundle import bundle_select
 from repro.streaming.journal import DEFAULT_SEGMENT_BYTES, StreamJournal
 from repro.streaming.store import StreamStateStore
-from repro.utils.rng import as_rng
+from repro.utils.rng import as_rng, fresh_entropy_seed
 
 __all__ = [
     "CompactionRecord",
@@ -211,7 +211,14 @@ class IngestRecord:
 
 @dataclass(frozen=True)
 class StreamStats:
-    """Lightweight counters attached to snapshots (``UnifiedResult.native``)."""
+    """Lightweight counters attached to snapshots (``UnifiedResult.native``).
+
+    ``seed`` is the stream's *resolved* integer seed and ``auto_seeded``
+    records whether it was drawn from OS entropy (``seed=None`` at
+    construction).  Surfacing the resolved seed on every result is what
+    makes auto-seeded runs reproducible after the fact: feed it back as
+    ``seed=`` to replay the identical stream.
+    """
 
     batches_ingested: int
     edges_ingested: int
@@ -222,6 +229,8 @@ class StreamStats:
     evicted_edges: int
     presampled_away: int
     ingest_seconds: float
+    seed: int = 0
+    auto_seeded: bool = False
 
 
 @dataclass(frozen=True)
@@ -373,6 +382,7 @@ class StreamingSparsifier:
             raise StreamingError(
                 f"sampling probability must lie in (0, 1), got {self._p}"
             )
+        self._auto_seeded = seed is None
         self._seed = self._normalize_seed(seed)
         if window is not None and int(window) < 1:
             raise StreamingError(f"window must be >= 1 batches, got {window}")
@@ -489,7 +499,10 @@ class StreamingSparsifier:
             # to one draw so the stream stays journal-able as an int.
             return int(seed.integers(0, 2**63 - 1))
         if seed is None:
-            return int(np.random.SeedSequence().entropy % (2**63))
+            # The one sanctioned entropy draw: the resulting seed is
+            # recorded (journal header, StreamStats.seed), so even an
+            # auto-seeded stream resumes and recovers bit-exactly.
+            return fresh_entropy_seed()
         return int(seed)
 
     def _journal_params(self) -> Dict[str, Any]:
@@ -499,6 +512,7 @@ class StreamingSparsifier:
             "k": self._k,
             "sampling_probability": self._p,
             "seed": self._seed,
+            "auto_seeded": self._auto_seeded,
             "window": self._window,
             "decay": self._decay,
             "compaction_interval": self._interval,
@@ -551,7 +565,7 @@ class StreamingSparsifier:
         track_exact: bool = True,
     ) -> "StreamingSparsifier":
         """Build a fresh, unattached stream from pinned journal parameters."""
-        return cls(
+        stream = cls(
             params["num_vertices"],
             t=params["t"],
             k=params["k"],
@@ -567,6 +581,11 @@ class StreamingSparsifier:
             failure_policy=failure_policy,
             track_exact=track_exact,
         )
+        # The header pins the *resolved* seed, so the rebuilt stream is
+        # constructed from an explicit int; restore the provenance flag
+        # (absent in pre-auto_seeded journals → False).
+        stream._auto_seeded = bool(params.get("auto_seeded", False))
+        return stream
 
     @classmethod
     def recover(
@@ -611,7 +630,17 @@ class StreamingSparsifier:
 
     @property
     def seed(self) -> int:
+        """The resolved integer seed every stream draw derives from.
+
+        For auto-seeded streams (``seed=None``) this is the recorded
+        entropy draw — pass it back as ``seed=`` to reproduce the run.
+        """
         return self._seed
+
+    @property
+    def auto_seeded(self) -> bool:
+        """True when the seed was drawn from OS entropy (``seed=None``)."""
+        return self._auto_seeded
 
     @property
     def t(self) -> int:
@@ -1052,6 +1081,8 @@ class StreamingSparsifier:
             evicted_edges=self._evicted,
             presampled_away=self._presampled_away,
             ingest_seconds=self._ingest_seconds,
+            seed=self._seed,
+            auto_seeded=self._auto_seeded,
         )
 
     def snapshot(self) -> StreamSnapshot:

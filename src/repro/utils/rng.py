@@ -14,7 +14,7 @@ for reproducible parallel Monte Carlo.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Sequence, Union
 
 import numpy as np
 
@@ -42,6 +42,20 @@ def as_rng(seed: SeedLike = None) -> RandomState:
     if isinstance(seed, np.random.SeedSequence):
         return np.random.default_rng(seed)
     return np.random.default_rng(seed)
+
+
+def fresh_entropy_seed() -> int:
+    """Draw one fresh OS-entropy seed as a journal-able non-negative int.
+
+    This is the package's *only* sanctioned source of OS entropy
+    (enforced by lint rule ``REP001``): components that accept
+    ``seed=None`` must obtain their actual seed here **once** and record
+    it — in a journal header, on a result object — so that even an
+    auto-seeded run is reproducible after the fact.  Never draw entropy
+    at a call site directly; an unrecorded draw voids every bit-exactness
+    guarantee downstream of it.
+    """
+    return int(np.random.SeedSequence().entropy % (2**63))
 
 
 def split_rng(rng: RandomState, n: int = 2) -> List[RandomState]:

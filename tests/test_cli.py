@@ -6,8 +6,8 @@ import pytest
 from repro.cli import build_parser, main
 from repro.graphs import generators as gen
 from repro.graphs.io import read_edge_list, write_edge_list
-from repro.spanners.verification import max_stretch_of_nonspanner_edges
 from repro.graphs.operations import edge_membership_mask
+from repro.spanners.verification import max_stretch_of_nonspanner_edges
 
 
 @pytest.fixture()
@@ -404,6 +404,5 @@ class TestSpannerCommand:
         code = main(["spanner", str(in_path), str(out_path), "--t", "2", "--seed", "2"])
         assert code == 0
         bundle = read_edge_list(out_path)
-        single = read_edge_list(out_path)
         assert bundle.num_edges <= graph.num_edges
         assert "bundle" in capsys.readouterr().out

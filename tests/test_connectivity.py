@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.graphs import generators as gen
 from repro.graphs.connectivity import (
     UnionFind,
     bfs_order,

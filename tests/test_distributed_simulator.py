@@ -8,8 +8,6 @@ from repro.graphs import generators as gen
 from repro.graphs.graph import Graph
 from repro.parallel.distributed import (
     DistributedSimulator,
-    Message,
-    NodeContext,
     NodeProgram,
     payload_words,
 )

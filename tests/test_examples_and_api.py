@@ -7,7 +7,6 @@ Output is captured by pytest, so the suite stays quiet.
 
 import importlib
 import pathlib
-import sys
 
 import pytest
 

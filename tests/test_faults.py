@@ -13,7 +13,6 @@ same test on every backend and machine.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.api import Engine, SparsifyRequest

@@ -1,7 +1,6 @@
 """End-to-end integration tests: the full pipelines the examples/benchmarks use."""
 
 import numpy as np
-import pytest
 
 from repro import (
     SparsifierConfig,
@@ -77,7 +76,7 @@ class TestPipelineComparisons:
 
     def test_full_report_pipeline(self):
         g = gen.random_geometric_graph(150, 0.25, seed=11)
-        from repro.graphs.connectivity import connected_components, component_subgraphs
+        from repro.graphs.connectivity import component_subgraphs
 
         # Work on the largest component so resistances are defined.
         parts = component_subgraphs(g)

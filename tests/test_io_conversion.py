@@ -1,11 +1,10 @@
 """Tests for repro.graphs.io and repro.graphs.conversion."""
 
-import numpy as np
 import networkx as nx
+import numpy as np
 import pytest
 
 from repro.exceptions import GraphError
-from repro.graphs import generators as gen
 from repro.graphs.conversion import (
     from_laplacian,
     from_networkx,

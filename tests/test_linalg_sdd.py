@@ -5,7 +5,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.exceptions import NotSDDError
-from repro.graphs import generators as gen
+from repro.graphs.laplacian import is_laplacian
 from repro.linalg.pseudoinverse import solve_via_pseudoinverse
 from repro.linalg.sdd import (
     SDDMatrix,
@@ -16,7 +16,6 @@ from repro.linalg.sdd import (
     sdd_to_laplacian_system,
     split_sdd,
 )
-from repro.graphs.laplacian import is_laplacian
 
 
 def _random_sdd(n: int, seed: int, strictly_dominant: bool = True) -> np.ndarray:

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.core.batch import sparsify_many
 from repro.core.checkpoint import BatchJournal, batch_graph_digest

@@ -21,6 +21,7 @@ import numpy as np
 import pytest
 
 from repro.graphs import generators as gen
+from repro.graphs.generators import banded_graph
 from repro.graphs.graph import Graph
 from repro.parallel.pram import PRAMTracker
 from repro.spanners._reference import (
@@ -29,8 +30,6 @@ from repro.spanners._reference import (
 )
 from repro.spanners.baswana_sen import baswana_sen_spanner
 from repro.spanners.bundle import t_bundle_spanner
-
-from repro.graphs.generators import banded_graph
 
 GOLDEN_PATH = Path(__file__).resolve().parent / "golden" / "spanner_goldens.json"
 
